@@ -1,0 +1,378 @@
+// bench_test.go regenerates every table and figure of the paper under
+// `go test -bench=.`. One benchmark per table/figure, plus ablation benches
+// for the design choices DESIGN.md calls out and micro-benchmarks for the
+// hot substrates.
+//
+// Figure benches run the Quick quality (2 packets/node) so a full -bench=.
+// pass completes in minutes; `go run ./cmd/figures` regenerates the
+// paper-scale versions. Each bench reports the figure's headline numbers as
+// custom metrics (µJ/packet, ms of delay) so the benchmark log doubles as a
+// results table.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dissem"
+	"repro/internal/experiment"
+	"repro/internal/network"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// reportLastRow attaches the final sweep point's series values as custom
+// benchmark metrics.
+func reportLastRow(b *testing.B, t experiment.Table, unit string) {
+	b.Helper()
+	if len(t.Rows) == 0 {
+		b.Fatal("empty table")
+	}
+	last := t.Rows[len(t.Rows)-1]
+	for i, col := range t.Columns {
+		b.ReportMetric(last.Cells[i], col+"_"+unit)
+	}
+}
+
+// BenchmarkFig3AnalyticDelayRatio regenerates Figure 3 (analytic SPIN/SPMS
+// delay ratio vs radius) and checks the paper's printed 2.7865 spot value.
+func BenchmarkFig3AnalyticDelayRatio(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t := experiment.Figure3()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+		ratio = analysis.PaperParams().DelayRatio(45, 5)
+	}
+	if ratio < 2.786 || ratio > 2.787 {
+		b.Fatalf("spot value %v, want 2.7865", ratio)
+	}
+	b.ReportMetric(ratio, "spot_ratio")
+}
+
+// BenchmarkFig5AnalyticEnergyRatio regenerates Figure 5 (analytic energy
+// ratio on the k-relay chain).
+func BenchmarkFig5AnalyticEnergyRatio(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		t := experiment.Figure5()
+		last = t.Rows[len(t.Rows)-1].Cells[0]
+	}
+	b.ReportMetric(last, "ratio_at_k30")
+}
+
+func benchFigure(b *testing.B, run func(*experiment.Runner) (experiment.Table, error), unit string) {
+	b.Helper()
+	var table experiment.Table
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(experiment.Quick())
+		t, err := run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = t
+	}
+	reportLastRow(b, table, unit)
+}
+
+// BenchmarkFig6EnergyVsNodes regenerates Figure 6 (energy vs node count).
+func BenchmarkFig6EnergyVsNodes(b *testing.B) {
+	benchFigure(b, (*experiment.Runner).Figure6, "uJ")
+}
+
+// BenchmarkFig7EnergyVsRadius regenerates Figure 7 (energy vs radius).
+func BenchmarkFig7EnergyVsRadius(b *testing.B) {
+	benchFigure(b, (*experiment.Runner).Figure7, "uJ")
+}
+
+// BenchmarkFig8DelayVsNodes regenerates Figure 8 (delay vs node count).
+func BenchmarkFig8DelayVsNodes(b *testing.B) {
+	benchFigure(b, (*experiment.Runner).Figure8, "ms")
+}
+
+// BenchmarkFig9DelayVsRadius regenerates Figure 9 (delay vs radius).
+func BenchmarkFig9DelayVsRadius(b *testing.B) {
+	benchFigure(b, (*experiment.Runner).Figure9, "ms")
+}
+
+// BenchmarkFig10FailureDelayVsNodes regenerates Figure 10 (delay vs node
+// count under transient failures; SPMS/F-SPMS/SPIN/F-SPIN).
+func BenchmarkFig10FailureDelayVsNodes(b *testing.B) {
+	benchFigure(b, (*experiment.Runner).Figure10, "ms")
+}
+
+// BenchmarkFig11FailureDelayVsRadius regenerates Figure 11 (delay vs radius
+// under transient failures).
+func BenchmarkFig11FailureDelayVsRadius(b *testing.B) {
+	benchFigure(b, (*experiment.Runner).Figure11, "ms")
+}
+
+// BenchmarkFig12MobilityEnergy regenerates Figure 12 (energy vs radius with
+// mobile nodes; SPMS pays DBF re-convergence).
+func BenchmarkFig12MobilityEnergy(b *testing.B) {
+	benchFigure(b, (*experiment.Runner).Figure12, "uJ")
+}
+
+// BenchmarkFig13ClusterEnergy regenerates Figure 13 (energy vs radius for
+// cluster-based hierarchical communication, with and without failures).
+func BenchmarkFig13ClusterEnergy(b *testing.B) {
+	benchFigure(b, (*experiment.Runner).Figure13, "uJ")
+}
+
+// BenchmarkMobilityThreshold recomputes the §5.1.3 break-even packet count.
+func BenchmarkMobilityThreshold(b *testing.B) {
+	var breakEven, dbf float64
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(experiment.Quick())
+		be, d, err := r.MobilityThreshold()
+		if err != nil {
+			b.Fatal(err)
+		}
+		breakEven, dbf = be, d
+	}
+	b.ReportMetric(breakEven, "breakeven_pkts")
+	b.ReportMetric(dbf, "dbf_uJ_per_event")
+}
+
+// ablationScenario is the shared configuration for the design-choice
+// ablations: mid-size field, failure injection on, so recovery paths run.
+func ablationScenario() experiment.Scenario {
+	return experiment.Scenario{
+		Protocol:       experiment.SPMS,
+		Workload:       experiment.AllToAll,
+		Nodes:          49,
+		ZoneRadius:     20,
+		PacketsPerNode: 2,
+		Failures:       true,
+		Seed:           1,
+		Drain:          2 * time.Second,
+	}
+}
+
+// BenchmarkAblationRelayADV compares SPMS with and without relay
+// re-advertisement (DESIGN.md §5.3): disabling it removes PRONE promotion
+// and slows zone crossing.
+func BenchmarkAblationRelayADV(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		b.Run("relayADV="+name, func(b *testing.B) {
+			var res experiment.Result
+			for i := 0; i < b.N; i++ {
+				sc := ablationScenario()
+				cfg := core.DefaultConfig()
+				cfg.DisableRelayADV = disabled
+				sc.SPMSConfig = cfg
+				r, err := experiment.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.EnergyPerPacket, "uJ_per_pkt")
+			b.ReportMetric(float64(res.MeanDelay)/1e6, "ms_delay")
+			b.ReportMetric(res.DeliveryRate, "delivery_rate")
+		})
+	}
+}
+
+// BenchmarkAblationRouteAlternatives sweeps the routing-table depth k
+// (DESIGN.md §5.2: the paper keeps the shortest and second-shortest path).
+func BenchmarkAblationRouteAlternatives(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run("k="+string(rune('0'+k)), func(b *testing.B) {
+			var res experiment.Result
+			for i := 0; i < b.N; i++ {
+				sc := ablationScenario()
+				sc.RouteAlternatives = k
+				r, err := experiment.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.EnergyPerPacket, "uJ_per_pkt")
+			b.ReportMetric(res.DeliveryRate, "delivery_rate")
+		})
+	}
+}
+
+// BenchmarkAblationServeFromCache evaluates the paper's future-work idea:
+// relays answering REQs from their cache instead of forwarding upstream.
+func BenchmarkAblationServeFromCache(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run("cache="+name, func(b *testing.B) {
+			var res experiment.Result
+			for i := 0; i < b.N; i++ {
+				sc := ablationScenario()
+				cfg := core.DefaultConfig()
+				cfg.ServeFromCache = on
+				sc.SPMSConfig = cfg
+				r, err := experiment.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.EnergyPerPacket, "uJ_per_pkt")
+			b.ReportMetric(float64(res.MeanDelay)/1e6, "ms_delay")
+		})
+	}
+}
+
+// BenchmarkAblationCarrierSense turns on shared-channel serialization
+// (DESIGN.md: the simulation default models contention as per-transmission
+// delay; carrier sense shows what saturation does to SPIN-style max-power
+// traffic). Uses a deliberately small workload — a serializing channel
+// saturates under the paper's full traffic.
+func BenchmarkAblationCarrierSense(b *testing.B) {
+	for _, cs := range []bool{false, true} {
+		name := "off"
+		if cs {
+			name = "on"
+		}
+		b.Run("carrier="+name, func(b *testing.B) {
+			var spmsDelay, spinDelay float64
+			for i := 0; i < b.N; i++ {
+				sc := experiment.Scenario{
+					Protocol:       experiment.SPMS,
+					Workload:       experiment.AllToAll,
+					Nodes:          25,
+					ZoneRadius:     20,
+					PacketsPerNode: 1,
+					CarrierSense:   cs,
+					Seed:           1,
+					Drain:          20 * time.Second,
+				}
+				spms, err := experiment.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc.Protocol = experiment.SPIN
+				spin, err := experiment.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spmsDelay = float64(spms.MeanDelay) / 1e6
+				spinDelay = float64(spin.MeanDelay) / 1e6
+			}
+			b.ReportMetric(spmsDelay, "spms_ms")
+			b.ReportMetric(spinDelay, "spin_ms")
+		})
+	}
+}
+
+// BenchmarkInterZoneQuery measures the §6 extension: a cross-zone
+// bordercast pull on a 12-node strip where plain SPMS starves the sink.
+func BenchmarkInterZoneQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := radio.ScaledMICA2(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := topo.NewChainField(12, 5, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := sim.NewScheduler()
+		nw, err := network.New(sched, f, sim.NewRNG(1), network.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ledger := dissem.NewLedger()
+		sink := packet.NodeID(11)
+		interest := func(id packet.NodeID, d packet.DataID) bool { return id == sink }
+		tables := routing.Compute(routing.BuildGraph(f), routing.DefaultAlternatives)
+		sys, err := core.NewSystem(nw, ledger, interest, tables, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := packet.DataID{Origin: 0, Seq: 0}
+		if err := sys.Originate(0, d); err != nil {
+			b.Fatal(err)
+		}
+		if err := sched.Run(300 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Query(sink, d); err != nil {
+			b.Fatal(err)
+		}
+		if err := sched.Run(3 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if !sys.Has(sink, d) {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+// BenchmarkDBFCompute measures one full Distributed Bellman-Ford
+// convergence on the paper's 169-node, 20 m-zone field.
+func BenchmarkDBFCompute(b *testing.B) {
+	m, err := radio.ScaledMICA2(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := topo.NewGridField(169, 5, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := routing.BuildGraph(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := routing.Compute(g, 2)
+		if tbl.Rounds() == 0 {
+			b.Fatal("no convergence")
+		}
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw event dispatch.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := sim.NewScheduler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			if err := s.RunUntilIdle(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkZoneNeighborsRebuild measures the topology cache rebuild after a
+// mobility event on the paper-scale field.
+func BenchmarkZoneNeighborsRebuild(b *testing.B) {
+	m, err := radio.ScaledMICA2(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := topo.NewGridField(169, 5, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RelocateFraction(0.05, rng)
+		if got := f.ZoneNeighbors(packet.NodeID(0)); got == nil && f.N() > 1 {
+			_ = got // zone may legitimately be empty after moves
+		}
+	}
+}

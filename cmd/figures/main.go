@@ -1,0 +1,117 @@
+// Command figures regenerates every table and figure from the paper's
+// evaluation (DSN 2004, "Fault Tolerant Energy Aware Data Dissemination
+// Protocol in Sensor Networks").
+//
+// Usage:
+//
+//	figures [-quick] [-csv] [-only fig6,fig8] [-seed N]
+//
+// Without -only it renders Table 1, Figures 3 and 5 (analytic), Figures
+// 6–13 (simulation), and the §5.1.3 mobility break-even threshold. -quick
+// runs the reduced workload (2 packets/node, smaller sweeps) instead of the
+// paper-scale one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "reduced workload (2 pkts/node, smaller sweeps)")
+	quality := flag.String("quality", "", "sweep scale: quick | standard | full (overrides -quick)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	only := flag.String("only", "", "comma-separated subset: table1,fig3,fig5,fig6,...,fig13,mobility-threshold")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	q := experiment.Full()
+	if *quick {
+		q = experiment.Quick()
+	}
+	switch *quality {
+	case "":
+	case "quick":
+		q = experiment.Quick()
+	case "standard":
+		q = experiment.Standard()
+	case "full":
+		q = experiment.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown quality %q\n", *quality)
+		return 2
+	}
+	q.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	emit := func(t experiment.Table) {
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+			return
+		}
+		fmt.Println(t.Format())
+	}
+
+	if selected("table1") {
+		fmt.Println(experiment.Table1())
+	}
+	if selected("fig3") {
+		emit(experiment.Figure3())
+	}
+	if selected("fig5") {
+		emit(experiment.Figure5())
+	}
+
+	runner := experiment.NewRunner(q)
+	simFigures := []struct {
+		id  string
+		run func() (experiment.Table, error)
+	}{
+		{"fig6", runner.Figure6},
+		{"fig7", runner.Figure7},
+		{"fig8", runner.Figure8},
+		{"fig9", runner.Figure9},
+		{"fig10", runner.Figure10},
+		{"fig11", runner.Figure11},
+		{"fig12", runner.Figure12},
+		{"fig13", runner.Figure13},
+	}
+	for _, f := range simFigures {
+		if !selected(f.id) {
+			continue
+		}
+		t, err := f.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.id, err)
+			return 1
+		}
+		emit(t)
+	}
+
+	if selected("mobility-threshold") {
+		breakEven, dbf, err := runner.MobilityThreshold()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: mobility-threshold: %v\n", err)
+			return 1
+		}
+		fmt.Printf("## §5.1.3 — Mobility break-even\n")
+		fmt.Printf("DBF re-convergence energy per mobility event: %.2f µJ\n", dbf)
+		fmt.Printf("Packets needed between mobility events for SPMS to win: %.2f (paper: 239.18)\n\n", breakEven)
+	}
+	return 0
+}

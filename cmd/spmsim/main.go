@@ -1,0 +1,101 @@
+// Command spmsim runs a single SPMS/SPIN/flooding simulation scenario and
+// prints its metrics. It is the exploratory companion to cmd/figures: every
+// knob of the experiment harness is exposed as a flag.
+//
+// Examples:
+//
+//	spmsim -protocol spms -nodes 169 -radius 20
+//	spmsim -protocol spin -nodes 100 -radius 15 -failures
+//	spmsim -protocol spms -workload cluster -radius 25 -mobility
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		protoName = flag.String("protocol", "spms", "protocol: spms | spin | flood")
+		wlName    = flag.String("workload", "all-to-all", "workload: all-to-all | cluster")
+		nodes     = flag.Int("nodes", 169, "number of sensor nodes (square grid)")
+		radius    = flag.Float64("radius", 20, "maximum transmission radius in meters (zone radius)")
+		spacing   = flag.Float64("spacing", 5, "grid spacing in meters")
+		packets   = flag.Int("packets", 10, "data items generated per node")
+		failures  = flag.Bool("failures", false, "inject transient node failures (Table 1 parameters)")
+		mobility  = flag.Bool("mobility", false, "relocate 5% of nodes every 100 ms")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		drain     = flag.Duration("drain", 3*time.Second, "extra simulated time after the last origination")
+		altRoutes = flag.Int("routes", 2, "SPMS routing entries per destination")
+	)
+	flag.Parse()
+
+	sc := experiment.Scenario{
+		Workload:          experiment.AllToAll,
+		Nodes:             *nodes,
+		GridSpacing:       *spacing,
+		ZoneRadius:        *radius,
+		PacketsPerNode:    *packets,
+		Failures:          *failures,
+		Mobility:          *mobility,
+		Seed:              *seed,
+		Drain:             *drain,
+		RouteAlternatives: *altRoutes,
+	}
+	switch strings.ToLower(*protoName) {
+	case "spms":
+		sc.Protocol = experiment.SPMS
+	case "spin":
+		sc.Protocol = experiment.SPIN
+	case "flood":
+		sc.Protocol = experiment.Flooding
+	default:
+		fmt.Fprintf(os.Stderr, "spmsim: unknown protocol %q\n", *protoName)
+		return 2
+	}
+	switch strings.ToLower(*wlName) {
+	case "all-to-all", "alltoall":
+		sc.Workload = experiment.AllToAll
+	case "cluster", "clustered":
+		sc.Workload = experiment.Clustered
+	default:
+		fmt.Fprintf(os.Stderr, "spmsim: unknown workload %q\n", *wlName)
+		return 2
+	}
+
+	start := time.Now()
+	res, err := experiment.Run(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+		return 1
+	}
+	wall := time.Since(start).Round(time.Millisecond)
+
+	fmt.Printf("scenario: %s %s nodes=%d radius=%.1fm packets/node=%d failures=%v mobility=%v seed=%d\n",
+		sc.Protocol, *wlName, *nodes, *radius, *packets, *failures, *mobility, *seed)
+	fmt.Printf("wall clock: %v\n\n", wall)
+
+	fmt.Printf("energy:    total=%.2f µJ   per-packet=%.4f µJ   routing-control=%.2f µJ\n",
+		res.TotalEnergy, res.EnergyPerPacket, res.CtrlEnergy)
+	fmt.Printf("delay:     mean=%v   p95=%v   max=%v\n", res.MeanDelay, res.P95Delay, res.MaxDelay)
+	fmt.Printf("delivery:  %d/%d (%.2f%%) across %d items\n",
+		res.Deliveries, res.Expected, 100*res.DeliveryRate, res.Items)
+	fmt.Printf("traffic:   ADV=%d REQ=%d DATA=%d drops=%d duplicates=%d\n",
+		res.SentADV, res.SentREQ, res.SentDATA, res.Drops, res.Duplicates)
+	fmt.Printf("recovery:  timeouts=%d failovers=%d failures-injected=%d\n",
+		res.Timeouts, res.Failovers, res.FailuresInjected)
+	if sc.Protocol == experiment.SPMS {
+		fmt.Printf("routing:   DBF rounds=%d vector-broadcasts=%d mobility-events=%d\n",
+			res.DBFRounds, res.DBFBroadcasts, res.MobilityEvents)
+	}
+	return 0
+}

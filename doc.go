@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Fault Tolerant
+// Energy Aware Data Dissemination Protocol in Sensor Networks" (Khanna,
+// Bagchi, Wu — DSN 2004): the SPMS protocol, its SPIN and flooding
+// baselines, the discrete-event sensor-network simulator they run on, and
+// a benchmark harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Start with README.md for a tour; DESIGN.md maps the paper's systems to
+// packages; EXPERIMENTS.md records paper-vs-measured results. The root
+// package holds only the figure-regeneration benchmarks (bench_test.go).
+package repro

@@ -1,0 +1,101 @@
+// Package dissem holds the scaffolding shared by the dissemination
+// protocols (SPIN, SPMS, flooding): the interest predicate that models
+// which nodes want which data, and the Ledger that records originations and
+// deliveries to compute the paper's end-to-end delay metric ("from the time
+// the ADV packet is sent out by the source to the time that the data packet
+// is received at the destination").
+package dissem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// Interest reports whether a node wants a given data item. All-to-all
+// communication is Everyone; cluster-based hierarchical communication uses
+// a predicate built by the workload package.
+type Interest func(node packet.NodeID, d packet.DataID) bool
+
+// Everyone is the all-to-all interest predicate: every node wants every
+// data item it did not originate.
+func Everyone(node packet.NodeID, d packet.DataID) bool { return node != d.Origin }
+
+// Protocol is the surface the workload drives: injecting newly sensed data
+// at its origin node.
+type Protocol interface {
+	// Originate introduces a new data item at node src, which begins
+	// advertising it. src must equal d.Origin.
+	Originate(src packet.NodeID, d packet.DataID) error
+}
+
+type deliveryKey struct {
+	node packet.NodeID
+	data packet.DataID
+}
+
+// Ledger tracks data lifecycles across the network for one simulation run.
+// It is shared by all node instances of a protocol system.
+type Ledger struct {
+	born      map[packet.DataID]time.Duration
+	delivered map[deliveryKey]bool
+	delays    *metrics.DelayStats
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		born:      make(map[packet.DataID]time.Duration),
+		delivered: make(map[deliveryKey]bool),
+		delays:    metrics.NewDelayStats(),
+	}
+}
+
+// Originate records that d was advertised by its origin at time now.
+// Re-originating the same DataID is an error: metadata names must be unique.
+func (l *Ledger) Originate(d packet.DataID, now time.Duration) error {
+	if _, dup := l.born[d]; dup {
+		return fmt.Errorf("dissem: data %v originated twice", d)
+	}
+	l.born[d] = now
+	return nil
+}
+
+// BornAt returns when d was originated.
+func (l *Ledger) BornAt(d packet.DataID) (time.Duration, bool) {
+	at, ok := l.born[d]
+	return at, ok
+}
+
+// Originated returns how many data items have been introduced.
+func (l *Ledger) Originated() int { return len(l.born) }
+
+// RecordDelivery marks d as delivered to node at time now, recording the
+// end-to-end delay sample. It reports false (and records nothing) for a
+// duplicate delivery or for data that was never originated.
+func (l *Ledger) RecordDelivery(node packet.NodeID, d packet.DataID, now time.Duration) bool {
+	bornAt, ok := l.born[d]
+	if !ok {
+		return false
+	}
+	k := deliveryKey{node: node, data: d}
+	if l.delivered[k] {
+		return false
+	}
+	l.delivered[k] = true
+	l.delays.Record(now - bornAt)
+	return true
+}
+
+// WasDelivered reports whether node already received d.
+func (l *Ledger) WasDelivered(node packet.NodeID, d packet.DataID) bool {
+	return l.delivered[deliveryKey{node: node, data: d}]
+}
+
+// Deliveries returns the number of distinct (node, data) deliveries.
+func (l *Ledger) Deliveries() int { return len(l.delivered) }
+
+// Delays exposes the delay statistics.
+func (l *Ledger) Delays() *metrics.DelayStats { return l.delays }

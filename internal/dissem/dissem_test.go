@@ -1,0 +1,107 @@
+package dissem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func TestEveryoneExcludesOrigin(t *testing.T) {
+	d := packet.DataID{Origin: 3, Seq: 0}
+	if Everyone(3, d) {
+		t.Fatal("origin must not be interested in its own data")
+	}
+	if !Everyone(0, d) || !Everyone(7, d) {
+		t.Fatal("all other nodes must be interested")
+	}
+}
+
+func TestLedgerOriginate(t *testing.T) {
+	l := NewLedger()
+	d := packet.DataID{Origin: 1, Seq: 0}
+	if err := l.Originate(d, 5*time.Millisecond); err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	if err := l.Originate(d, 6*time.Millisecond); err == nil {
+		t.Fatal("duplicate origination accepted")
+	}
+	at, ok := l.BornAt(d)
+	if !ok || at != 5*time.Millisecond {
+		t.Fatalf("BornAt=(%v,%v)", at, ok)
+	}
+	if l.Originated() != 1 {
+		t.Fatalf("Originated=%d, want 1", l.Originated())
+	}
+	if _, ok := l.BornAt(packet.DataID{Origin: 9, Seq: 9}); ok {
+		t.Fatal("BornAt for unknown data")
+	}
+}
+
+func TestLedgerDeliveryRecordsDelay(t *testing.T) {
+	l := NewLedger()
+	d := packet.DataID{Origin: 1, Seq: 0}
+	if err := l.Originate(d, 2*time.Millisecond); err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	if !l.RecordDelivery(5, d, 12*time.Millisecond) {
+		t.Fatal("first delivery rejected")
+	}
+	if l.Deliveries() != 1 {
+		t.Fatalf("Deliveries=%d, want 1", l.Deliveries())
+	}
+	if got := l.Delays().Mean(); got != 10*time.Millisecond {
+		t.Fatalf("delay=%v, want 10ms", got)
+	}
+	if !l.WasDelivered(5, d) {
+		t.Fatal("WasDelivered=false after delivery")
+	}
+	if l.WasDelivered(6, d) {
+		t.Fatal("WasDelivered=true for wrong node")
+	}
+}
+
+func TestLedgerDuplicateDeliveryIgnored(t *testing.T) {
+	l := NewLedger()
+	d := packet.DataID{Origin: 1, Seq: 0}
+	if err := l.Originate(d, 0); err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	if !l.RecordDelivery(5, d, time.Millisecond) {
+		t.Fatal("first delivery rejected")
+	}
+	if l.RecordDelivery(5, d, 2*time.Millisecond) {
+		t.Fatal("duplicate delivery accepted")
+	}
+	if l.Deliveries() != 1 || l.Delays().Count() != 1 {
+		t.Fatal("duplicate polluted stats")
+	}
+	// Same data to a different node is a new delivery.
+	if !l.RecordDelivery(6, d, 2*time.Millisecond) {
+		t.Fatal("delivery to second node rejected")
+	}
+}
+
+func TestLedgerUnknownDataDelivery(t *testing.T) {
+	l := NewLedger()
+	if l.RecordDelivery(1, packet.DataID{Origin: 2, Seq: 0}, time.Millisecond) {
+		t.Fatal("delivery of unoriginated data accepted")
+	}
+}
+
+func TestLedgerMultipleItems(t *testing.T) {
+	l := NewLedger()
+	for seq := 0; seq < 5; seq++ {
+		d := packet.DataID{Origin: 0, Seq: seq}
+		if err := l.Originate(d, time.Duration(seq)*time.Millisecond); err != nil {
+			t.Fatalf("Originate: %v", err)
+		}
+		l.RecordDelivery(1, d, time.Duration(seq+2)*time.Millisecond)
+	}
+	if l.Deliveries() != 5 {
+		t.Fatalf("Deliveries=%d, want 5", l.Deliveries())
+	}
+	if got := l.Delays().Mean(); got != 2*time.Millisecond {
+		t.Fatalf("mean delay=%v, want 2ms", got)
+	}
+}

@@ -1,0 +1,370 @@
+// Package experiment wires every substrate into runnable scenarios and
+// reproduces the paper's evaluation (§5): each figure has a runner that
+// sweeps the paper's x-axis and reports the same series the paper plots.
+//
+// A Scenario is a complete, seeded description of one simulation run; Run
+// executes it deterministically and returns the measured energy, delay, and
+// protocol counters.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dissem"
+	"repro/internal/fault"
+	"repro/internal/flood"
+	"repro/internal/mac"
+	"repro/internal/network"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/spin"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Protocol selects the dissemination protocol under test.
+type Protocol int
+
+// Protocols under test.
+const (
+	SPMS Protocol = iota + 1
+	SPIN
+	Flooding
+)
+
+// String names the protocol as the paper does (F- prefixes are added by the
+// figure runners for failure scenarios).
+func (p Protocol) String() string {
+	switch p {
+	case SPMS:
+		return "SPMS"
+	case SPIN:
+		return "SPIN"
+	case Flooding:
+		return "FLOOD"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// WorkloadKind selects the §5 communication pattern.
+type WorkloadKind int
+
+// Workload kinds.
+const (
+	AllToAll WorkloadKind = iota + 1
+	Clustered
+)
+
+// Scenario is one fully specified simulation run.
+type Scenario struct {
+	Protocol Protocol
+	Workload WorkloadKind
+
+	// Topology. Nodes are placed on a square grid with GridSpacing meters
+	// between neighbors; the radio is a MICA2 scaled so maximum range is
+	// ZoneRadius meters.
+	Nodes       int
+	GridSpacing float64
+	ZoneRadius  float64
+
+	// Traffic.
+	PacketsPerNode      int
+	MeanArrival         time.Duration
+	ClusterInterestProb float64 // Clustered only; default 5%
+
+	// Failures (§5.1.2). Zero FailureCfg means fault.DefaultConfig.
+	Failures   bool
+	FailureCfg fault.Config
+
+	// Mobility (§5.1.3): every MobilityPeriod, MobilityFraction of the
+	// nodes relocates and (for SPMS) routing re-converges, charged as
+	// control energy.
+	Mobility         bool
+	MobilityPeriod   time.Duration
+	MobilityFraction float64
+
+	// Protocol tuning.
+	SPMSConfig        core.Config // zero value means core.DefaultConfig
+	RouteAlternatives int         // SPMS routing entries per destination; 0 = 2
+	ChargeInitialDBF  bool        // charge the initial convergence, not just re-runs
+
+	// CarrierSense enables shared-channel serialization in the network
+	// layer (see network.Config). Off for all figure reproductions; the MAC
+	// ablation benchmark turns it on.
+	CarrierSense bool
+
+	// Run control.
+	Seed  int64
+	Drain time.Duration // extra simulated time after the last origination
+}
+
+// Defaults used when a Scenario leaves fields zero.
+const (
+	DefaultDrain       = 3 * time.Second
+	DefaultGridSpacing = topo.DefaultGridSpacing
+)
+
+// mobilityActiveTail is how far past the last origination mobility events
+// keep firing: an allowance for in-flight dissemination.
+const mobilityActiveTail = 500 * time.Millisecond
+
+// withDefaults fills unset fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.GridSpacing == 0 {
+		s.GridSpacing = DefaultGridSpacing
+	}
+	if s.PacketsPerNode == 0 {
+		s.PacketsPerNode = workload.DefaultPacketsPerNode
+	}
+	if s.MeanArrival == 0 {
+		s.MeanArrival = workload.DefaultMeanArrival
+	}
+	if s.ClusterInterestProb == 0 {
+		s.ClusterInterestProb = workload.DefaultClusterInterestProb
+	}
+	if s.Failures && s.FailureCfg == (fault.Config{}) {
+		s.FailureCfg = fault.DefaultConfig()
+	}
+	if s.Mobility {
+		if s.MobilityPeriod == 0 {
+			s.MobilityPeriod = 100 * time.Millisecond
+		}
+		if s.MobilityFraction == 0 {
+			s.MobilityFraction = 0.05
+		}
+	}
+	if s.SPMSConfig == (core.Config{}) {
+		s.SPMSConfig = core.DefaultConfig()
+	}
+	if s.RouteAlternatives == 0 {
+		s.RouteAlternatives = routing.DefaultAlternatives
+	}
+	if s.Drain == 0 {
+		s.Drain = DefaultDrain
+	}
+	return s
+}
+
+// validate rejects unusable scenarios.
+func (s Scenario) validate() error {
+	if s.Protocol < SPMS || s.Protocol > Flooding {
+		return fmt.Errorf("experiment: unknown protocol %d", int(s.Protocol))
+	}
+	if s.Workload != AllToAll && s.Workload != Clustered {
+		return fmt.Errorf("experiment: unknown workload %d", int(s.Workload))
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("experiment: non-positive node count %d", s.Nodes)
+	}
+	if s.ZoneRadius <= 0 {
+		return fmt.Errorf("experiment: non-positive zone radius %v", s.ZoneRadius)
+	}
+	return nil
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	// Energy, in microjoules.
+	TotalEnergy     float64
+	EnergyPerPacket float64 // total / originated items
+	CtrlEnergy      float64 // routing-convergence share
+
+	// Delay.
+	MeanDelay time.Duration
+	P95Delay  time.Duration
+	MaxDelay  time.Duration
+
+	// Delivery accounting.
+	Items        int // data items originated
+	Deliveries   int // distinct (node, item) deliveries
+	Expected     int // deliveries a lossless run would make
+	DeliveryRate float64
+
+	// Protocol event counters.
+	Timeouts   uint64
+	Failovers  uint64
+	Drops      uint64
+	Duplicates uint64
+	SentADV    uint64
+	SentREQ    uint64
+	SentDATA   uint64
+
+	// Routing.
+	DBFRounds      int // initial convergence rounds
+	DBFBroadcasts  int // initial convergence vector broadcasts
+	MobilityEvents int
+
+	// Failure injection.
+	FailuresInjected int
+}
+
+// Run executes the scenario to completion and collects metrics.
+func Run(sc Scenario) (Result, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return Result{}, err
+	}
+
+	model, err := radio.ScaledMICA2(sc.ZoneRadius)
+	if err != nil {
+		return Result{}, err
+	}
+	field, err := topo.NewGridField(sc.Nodes, sc.GridSpacing, model)
+	if err != nil {
+		return Result{}, err
+	}
+
+	sched := sim.NewScheduler()
+	root := sim.NewRNG(sc.Seed)
+	wlRNG := root.Fork()
+	netRNG := root.Fork()
+	failRNG := root.Fork()
+	mobRNG := root.Fork()
+
+	nw, err := network.New(sched, field, netRNG, network.Config{
+		Sizes:        packet.DefaultSizes(),
+		MAC:          mac.AnalyticConfig(),
+		CarrierSense: sc.CarrierSense,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	ledger := dissem.NewLedger()
+
+	var gen *workload.Generator
+	switch sc.Workload {
+	case AllToAll:
+		gen, err = workload.AllToAll(sc.Nodes, sc.PacketsPerNode, sc.MeanArrival, wlRNG)
+	case Clustered:
+		gen, err = workload.Clustered(field, sc.PacketsPerNode, sc.MeanArrival, sc.ClusterInterestProb, wlRNG)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	var (
+		proto  dissem.Protocol
+		spms   *core.System
+		tables *routing.Tables
+	)
+	switch sc.Protocol {
+	case SPMS:
+		tables = routing.Compute(routing.BuildGraph(field), sc.RouteAlternatives)
+		if sc.ChargeInitialDBF {
+			routing.ChargeConvergenceEnergy(tables, field, nw.Sizes(), nw.Energy())
+		}
+		spms, err = core.NewSystem(nw, ledger, gen.Interest(), tables, sc.SPMSConfig)
+		proto = spms
+	case SPIN:
+		var sys *spin.System
+		sys, err = spin.NewSystem(nw, ledger, gen.Interest(), spin.DefaultConfig())
+		proto = sys
+	case Flooding:
+		proto, err = newFloodSystem(nw, ledger, gen.Interest())
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{}
+	if tables != nil {
+		res.DBFRounds = tables.Rounds()
+		res.DBFBroadcasts = tables.Broadcasts()
+	}
+
+	var injector *fault.Injector
+	if sc.Failures {
+		injector, err = fault.NewInjector(sc.FailureCfg, sched, failRNG, nw)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := injector.Start(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	horizon := gen.Horizon() + sc.Drain
+	if sc.Mobility {
+		// Mobility events cover the traffic-carrying part of the run: the
+		// origination window plus a dissemination allowance. The drain tail
+		// exists only to let queues empty; charging re-convergences during
+		// dead air would bias the energy comparison.
+		activeEnd := gen.Horizon() + mobilityActiveTail
+		if activeEnd > horizon {
+			activeEnd = horizon
+		}
+		scheduleMobility(&res, sc, sched, field, mobRNG, nw, spms, activeEnd)
+	}
+
+	gen.Schedule(sched, proto)
+	if err := sched.Run(horizon); err != nil {
+		return Result{}, err
+	}
+
+	fillResult(&res, gen, ledger, nw)
+	if injector != nil {
+		res.FailuresInjected = injector.Stats().Injected
+	}
+	return res, nil
+}
+
+// newFloodSystem adapts the flooding baseline to the common constructor
+// shape.
+func newFloodSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Interest) (dissem.Protocol, error) {
+	return flood.NewSystem(nw, ledger, interest, core.DefaultProc)
+}
+
+// scheduleMobility arms the recurring relocation events. Re-convergence is
+// instantaneous in virtual time (a documented simplification; see
+// DESIGN.md) but its radio traffic is fully charged as control energy —
+// the §5.1.3 cost model.
+func scheduleMobility(res *Result, sc Scenario, sched *sim.Scheduler, field *topo.Field,
+	rng *sim.RNG, nw *network.Network, spms *core.System, horizon time.Duration) {
+	var tick func()
+	tick = func() {
+		if sched.Now() >= horizon {
+			return
+		}
+		field.RelocateFraction(sc.MobilityFraction, rng)
+		res.MobilityEvents++
+		if spms != nil {
+			fresh := routing.Compute(routing.BuildGraph(field), sc.RouteAlternatives)
+			spms.SetTables(fresh)
+			routing.ChargeConvergenceEnergy(fresh, field, nw.Sizes(), nw.Energy())
+		}
+		sched.After(sc.MobilityPeriod, tick)
+	}
+	sched.After(sc.MobilityPeriod, tick)
+}
+
+// fillResult converts raw collectors into the Result summary.
+func fillResult(res *Result, gen *workload.Generator, ledger *dissem.Ledger, nw *network.Network) {
+	breakdown := nw.Energy().TotalBreakdown()
+	res.TotalEnergy = float64(breakdown.Total())
+	res.CtrlEnergy = float64(breakdown.Ctrl)
+	res.Items = gen.Items()
+	if res.Items > 0 {
+		res.EnergyPerPacket = res.TotalEnergy / float64(res.Items)
+	}
+	res.MeanDelay = ledger.Delays().Mean()
+	res.P95Delay = ledger.Delays().Percentile(95)
+	res.MaxDelay = ledger.Delays().Max()
+	res.Deliveries = ledger.Deliveries()
+	res.Expected = gen.ExpectedDeliveries()
+	if res.Expected > 0 {
+		res.DeliveryRate = float64(res.Deliveries) / float64(res.Expected)
+	}
+	c := nw.Counters()
+	res.Timeouts = c.Timeouts
+	res.Failovers = c.Failovers
+	res.Drops = c.Drops
+	res.Duplicates = c.Duplicates
+	res.SentADV = c.Sent[packet.ADV]
+	res.SentREQ = c.Sent[packet.REQ]
+	res.SentDATA = c.Sent[packet.DATA]
+}

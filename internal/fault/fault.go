@@ -1,0 +1,162 @@
+// Package fault injects the paper's failure model (§5.1.2): transient node
+// failures whose inter-arrival times are exponential and whose repair times
+// are uniform on (RepairMin, RepairMax). While failed, a node drops every
+// received message and cancels scheduled transmissions; recovery is always
+// successful.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the injector. Table 1: mean failure inter-arrival
+// λ = 50 ms, MTTR = 10 ms (we center a uniform window on it).
+type Config struct {
+	// MeanInterArrival is the mean of the exponential gap between one
+	// node's failures (measured from its previous recovery). Each node runs
+	// its own failure clock, so with Table 1's numbers a node is down
+	// MTTR/(MTTR+λ) ≈ 1/6 of the time.
+	MeanInterArrival time.Duration
+	// RepairMin and RepairMax bound the uniform repair duration.
+	RepairMin time.Duration
+	RepairMax time.Duration
+}
+
+// DefaultConfig returns Table 1's failure parameters: exponential
+// inter-arrival with mean 50 ms and uniform repair on (5 ms, 15 ms),
+// giving the stated MTTR of 10 ms.
+func DefaultConfig() Config {
+	return Config{
+		MeanInterArrival: 50 * time.Millisecond,
+		RepairMin:        5 * time.Millisecond,
+		RepairMax:        15 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MeanInterArrival <= 0 {
+		return fmt.Errorf("fault: non-positive mean inter-arrival %v", c.MeanInterArrival)
+	}
+	if c.RepairMin < 0 || c.RepairMax < c.RepairMin {
+		return fmt.Errorf("fault: invalid repair window [%v, %v]", c.RepairMin, c.RepairMax)
+	}
+	return nil
+}
+
+// MTTR returns the mean repair time of the configuration.
+func (c Config) MTTR() time.Duration { return (c.RepairMin + c.RepairMax) / 2 }
+
+// Target is the interface the injector drives. The network layer implements
+// it: Fail marks a node down (dropping traffic addressed to it), Recover
+// brings it back.
+type Target interface {
+	// N returns the node population size.
+	N() int
+	// Alive reports whether a node is currently up.
+	Alive(id packet.NodeID) bool
+	// Fail marks the node down.
+	Fail(id packet.NodeID)
+	// Recover marks the node up.
+	Recover(id packet.NodeID)
+}
+
+// Stats summarizes injector activity.
+type Stats struct {
+	Injected      int           // failures injected
+	Repairs       int           // recoveries completed
+	TotalDowntime time.Duration // sum of injected repair durations
+}
+
+// Injector schedules transient failures onto a simulation.
+type Injector struct {
+	cfg    Config
+	sched  *sim.Scheduler
+	rng    *sim.RNG
+	target Target
+	stats  Stats
+	// protected optionally exempts nodes (e.g. a sink) from failures.
+	protected map[packet.NodeID]bool
+	running   bool
+}
+
+// NewInjector builds an injector. All dependencies are required.
+func NewInjector(cfg Config, sched *sim.Scheduler, rng *sim.RNG, target Target) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil || rng == nil || target == nil {
+		return nil, fmt.Errorf("fault: nil dependency (sched=%v rng=%v target=%v)",
+			sched != nil, rng != nil, target != nil)
+	}
+	return &Injector{
+		cfg:       cfg,
+		sched:     sched,
+		rng:       rng,
+		target:    target,
+		protected: make(map[packet.NodeID]bool),
+	}, nil
+}
+
+// Protect exempts a node from failure injection (the paper never fails the
+// original data source before any neighbor has the data; experiments use
+// this to keep scenarios meaningful). Must be called before Start.
+func (in *Injector) Protect(id packet.NodeID) {
+	if in.running {
+		panic("fault: Protect after Start")
+	}
+	in.protected[id] = true
+}
+
+// Stats returns a snapshot of injector activity.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Start begins injecting failures until the simulation ends: every
+// unprotected node gets its own fail → repair → fail cycle, with
+// exponential up-times and uniform repair times. Calling Start twice is an
+// error: doubled clocks would halve the effective inter-arrival time.
+func (in *Injector) Start() error {
+	if in.running {
+		return fmt.Errorf("fault: injector already started")
+	}
+	in.running = true
+	for i := 0; i < in.target.N(); i++ {
+		id := packet.NodeID(i)
+		if in.protected[id] {
+			continue
+		}
+		in.scheduleNodeFailure(id)
+	}
+	return nil
+}
+
+// scheduleNodeFailure arms node id's next failure after an exponential
+// up-time.
+func (in *Injector) scheduleNodeFailure(id packet.NodeID) {
+	gap := in.rng.ExpDuration(in.cfg.MeanInterArrival)
+	in.sched.After(gap, func() { in.failNode(id) })
+}
+
+// failNode takes the node down and schedules its recovery, which in turn
+// arms the next failure.
+func (in *Injector) failNode(id packet.NodeID) {
+	if !in.target.Alive(id) {
+		// Someone else (a test, another injector) already failed it; try
+		// again after another up-time.
+		in.scheduleNodeFailure(id)
+		return
+	}
+	repair := in.rng.UniformDuration(in.cfg.RepairMin, in.cfg.RepairMax)
+	in.target.Fail(id)
+	in.stats.Injected++
+	in.stats.TotalDowntime += repair
+	in.sched.After(repair, func() {
+		in.target.Recover(id)
+		in.stats.Repairs++
+		in.scheduleNodeFailure(id)
+	})
+}

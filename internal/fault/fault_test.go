@@ -1,0 +1,269 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// fakeTarget is a minimal Target recording liveness transitions.
+type fakeTarget struct {
+	alive     []bool
+	fails     int
+	recovers  int
+	downSpans map[packet.NodeID]int
+}
+
+func newFakeTarget(n int) *fakeTarget {
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	return &fakeTarget{alive: alive, downSpans: make(map[packet.NodeID]int)}
+}
+
+func (f *fakeTarget) N() int                      { return len(f.alive) }
+func (f *fakeTarget) Alive(id packet.NodeID) bool { return f.alive[id] }
+func (f *fakeTarget) Fail(id packet.NodeID) {
+	f.alive[id] = false
+	f.fails++
+	f.downSpans[id]++
+}
+func (f *fakeTarget) Recover(id packet.NodeID) {
+	f.alive[id] = true
+	f.recovers++
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MeanInterArrival != 50*time.Millisecond {
+		t.Fatalf("MeanInterArrival=%v, want 50ms", cfg.MeanInterArrival)
+	}
+	if cfg.MTTR() != 10*time.Millisecond {
+		t.Fatalf("MTTR=%v, want 10ms", cfg.MTTR())
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"default", DefaultConfig(), false},
+		{"zero inter-arrival", Config{RepairMin: 1, RepairMax: 2}, true},
+		{"negative repair min", Config{MeanInterArrival: 1, RepairMin: -1, RepairMax: 2}, true},
+		{"max below min", Config{MeanInterArrival: 1, RepairMin: 5, RepairMax: 2}, true},
+		{"point repair window", Config{MeanInterArrival: 1, RepairMin: 5, RepairMax: 5}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewInjectorValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(1)
+	target := newFakeTarget(5)
+	if _, err := NewInjector(Config{}, sched, rng, target); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewInjector(DefaultConfig(), nil, rng, target); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := NewInjector(DefaultConfig(), sched, nil, target); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := NewInjector(DefaultConfig(), sched, rng, nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
+func TestInjectorFailsAndRepairs(t *testing.T) {
+	sched := sim.NewScheduler()
+	target := newFakeTarget(20)
+	in, err := NewInjector(DefaultConfig(), sched, sim.NewRNG(42), target)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sched.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := in.Stats()
+	// Per-node clocks: each of 20 nodes cycles every ≈60 ms (50 ms up +
+	// 10 ms down) over 2 s → ≈660 failures; accept a broad band.
+	if st.Injected < 400 || st.Injected > 900 {
+		t.Fatalf("Injected=%d, want ≈660", st.Injected)
+	}
+	if target.fails != st.Injected {
+		t.Fatalf("target saw %d fails, stats say %d", target.fails, st.Injected)
+	}
+	// Repairs lag failures by at most one in-flight repair per node.
+	if st.Repairs < st.Injected-target.N() {
+		t.Fatalf("Repairs=%d lag too far behind Injected=%d", st.Repairs, st.Injected)
+	}
+	// Mean downtime ≈ MTTR.
+	if st.Injected > 0 {
+		mttr := st.TotalDowntime / time.Duration(st.Injected)
+		if mttr < 7*time.Millisecond || mttr > 13*time.Millisecond {
+			t.Fatalf("observed MTTR %v, want ≈10ms", mttr)
+		}
+	}
+}
+
+func TestInjectorRespectsProtection(t *testing.T) {
+	sched := sim.NewScheduler()
+	target := newFakeTarget(3)
+	in, err := NewInjector(DefaultConfig(), sched, sim.NewRNG(7), target)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	in.Protect(0)
+	if err := in.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sched.Run(3 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if target.downSpans[0] != 0 {
+		t.Fatalf("protected node failed %d times", target.downSpans[0])
+	}
+	if in.Stats().Injected == 0 {
+		t.Fatal("no failures injected at all")
+	}
+}
+
+func TestInjectorNeverFailsDeadNode(t *testing.T) {
+	// With a tiny population and long repairs, the injector must skip
+	// already-dead nodes rather than double-failing them.
+	sched := sim.NewScheduler()
+	target := newFakeTarget(2)
+	cfg := Config{
+		MeanInterArrival: time.Millisecond,
+		RepairMin:        500 * time.Millisecond,
+		RepairMax:        time.Second,
+	}
+	in, err := NewInjector(cfg, sched, sim.NewRNG(3), target)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Intercept transitions: fail must only hit alive nodes. fakeTarget
+	// would hide this, so check by construction: every Fail flips true→false.
+	// We verify via invariant: fails - recovers ∈ {0,1,2} and never exceeds N.
+	if err := sched.Run(200 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	down := target.fails - target.recovers
+	if down < 0 || down > 2 {
+		t.Fatalf("inconsistent down count %d", down)
+	}
+}
+
+func TestInjectorUnavailabilityFraction(t *testing.T) {
+	// Table 1 numbers give per-node availability λ/(λ+MTTR) = 50/60: the
+	// total injected downtime across a long run should be ≈1/6 of
+	// node-time.
+	sched := sim.NewScheduler()
+	target := newFakeTarget(10)
+	in, err := NewInjector(DefaultConfig(), sched, sim.NewRNG(21), target)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	const horizon = 10 * time.Second
+	if err := sched.Run(horizon); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	nodeTime := horizon * 10
+	frac := float64(in.Stats().TotalDowntime) / float64(nodeTime)
+	if frac < 0.13 || frac > 0.21 {
+		t.Fatalf("downtime fraction %v, want ≈1/6", frac)
+	}
+}
+
+func TestProtectAfterStartPanics(t *testing.T) {
+	sched := sim.NewScheduler()
+	in, err := NewInjector(DefaultConfig(), sched, sim.NewRNG(1), newFakeTarget(3))
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Protect after Start should panic")
+		}
+	}()
+	in.Protect(0)
+}
+
+func TestInjectorDoubleStartFails(t *testing.T) {
+	sched := sim.NewScheduler()
+	in, err := NewInjector(DefaultConfig(), sched, sim.NewRNG(1), newFakeTarget(5))
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatalf("first Start: %v", err)
+	}
+	if err := in.Start(); err == nil {
+		t.Fatal("second Start should fail")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() Stats {
+		sched := sim.NewScheduler()
+		target := newFakeTarget(10)
+		in, err := NewInjector(DefaultConfig(), sched, sim.NewRNG(11), target)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		if err := in.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := sched.Run(time.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return in.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestInjectorEmptyTarget(t *testing.T) {
+	sched := sim.NewScheduler()
+	in, err := NewInjector(DefaultConfig(), sched, sim.NewRNG(1), newFakeTarget(0))
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sched.Run(500 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if in.Stats().Injected != 0 {
+		t.Fatal("injected failures into an empty network")
+	}
+}

@@ -1,0 +1,119 @@
+// Package flood implements classic flooding, the baseline protocol the
+// paper's introduction describes: "each node retransmits the data it
+// receives to all its neighbors, except the neighbor that it received the
+// data from". It keeps no negotiation state and suffers the implosion
+// problem SPIN and SPMS exist to fix; it is included as the reference point
+// for the energy comparisons.
+package flood
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dissem"
+	"repro/internal/network"
+	"repro/internal/packet"
+	"repro/internal/radio"
+)
+
+// System is one flooding network.
+type System struct {
+	nw     *network.Network
+	ledger *dissem.Ledger
+	// interest only affects delivery accounting: flooding transmits to
+	// everyone regardless of interest.
+	interest dissem.Interest
+	proc     time.Duration
+	nodes    []*node
+}
+
+var _ dissem.Protocol = (*System)(nil)
+
+// NewSystem builds the flooding instances and binds them to the network.
+// proc is the per-packet processing delay (Table 1: 0.02 ms).
+func NewSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Interest, proc time.Duration) (*System, error) {
+	if nw == nil || ledger == nil || interest == nil {
+		return nil, fmt.Errorf("flood: nil dependency (nw=%v ledger=%v interest=%v)",
+			nw != nil, ledger != nil, interest != nil)
+	}
+	if proc < 0 {
+		return nil, fmt.Errorf("flood: negative processing delay %v", proc)
+	}
+	s := &System{nw: nw, ledger: ledger, interest: interest, proc: proc}
+	s.nodes = make([]*node, nw.N())
+	for i := range s.nodes {
+		n := &node{sys: s, id: packet.NodeID(i), seen: make(map[packet.DataID]bool)}
+		s.nodes[i] = n
+		nw.Bind(n.id, n)
+	}
+	return s, nil
+}
+
+// Originate implements dissem.Protocol: the origin broadcasts the full DATA
+// packet to its neighborhood at maximum power.
+func (s *System) Originate(src packet.NodeID, d packet.DataID) error {
+	if src != d.Origin {
+		return fmt.Errorf("flood: originate %v at wrong node %d", d, src)
+	}
+	if src < 0 || int(src) >= len(s.nodes) {
+		return fmt.Errorf("flood: origin node %d out of range", src)
+	}
+	if !s.nw.Alive(src) {
+		return fmt.Errorf("flood: origin node %d is down", src)
+	}
+	if err := s.ledger.Originate(d, s.nw.Scheduler().Now()); err != nil {
+		return err
+	}
+	n := s.nodes[src]
+	n.seen[d] = true
+	n.rebroadcast(d)
+	return nil
+}
+
+// Has reports whether node id has seen d (test hook).
+func (s *System) Has(id packet.NodeID, d packet.DataID) bool {
+	if id < 0 || int(id) >= len(s.nodes) {
+		panic(fmt.Sprintf("flood: node id %d out of range", id))
+	}
+	return s.nodes[id].seen[d]
+}
+
+type node struct {
+	sys  *System
+	id   packet.NodeID
+	seen map[packet.DataID]bool
+}
+
+var _ network.Receiver = (*node)(nil)
+
+func (n *node) HandlePacket(p packet.Packet) {
+	n.sys.nw.Scheduler().After(n.sys.proc, func() {
+		if !n.sys.nw.Alive(n.id) {
+			return
+		}
+		if p.Kind != packet.DATA {
+			panic(fmt.Sprintf("flood: node %d received unexpected %v", n.id, p.Kind))
+		}
+		d := p.Meta
+		if n.seen[d] {
+			n.sys.nw.Counters().Duplicates++
+			return // rebroadcast only the first copy
+		}
+		n.seen[d] = true
+		if n.sys.interest(n.id, d) &&
+			n.sys.ledger.RecordDelivery(n.id, d, n.sys.nw.Scheduler().Now()) {
+			n.sys.nw.Counters().Delivered++
+		}
+		n.rebroadcast(d)
+	})
+}
+
+func (n *node) rebroadcast(d packet.DataID) {
+	n.sys.nw.Send(packet.Packet{
+		Kind:  packet.DATA,
+		Meta:  d,
+		Src:   n.id,
+		Dst:   packet.Broadcast,
+		Level: radio.MaxPower,
+	})
+}

@@ -1,0 +1,125 @@
+// Package geom provides the 2-D geometry primitives used by the sensor-field
+// model: points, distances, and standard node placements (grid and uniform
+// random) matching the paper's "uniform density of nodes" assumption.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the sensor field, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance in meters between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance, for comparisons that do not
+// need the square root.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// String formats the point for diagnostics.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle, used as the sensor-field boundary.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewFieldForDensity returns a square field sized so that n nodes give the
+// requested density (nodes per square meter). The paper keeps density
+// uniform: "as the number of nodes increases, the sensor field area
+// increases" (§5).
+func NewFieldForDensity(n int, density float64) Rect {
+	if n <= 0 || density <= 0 {
+		return Rect{}
+	}
+	side := math.Sqrt(float64(n) / density)
+	return Rect{Min: Point{0, 0}, Max: Point{side, side}}
+}
+
+// Width returns the horizontal extent of the rectangle.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of the rectangle.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of the rectangle.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies in the rectangle (inclusive bounds).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside the rectangle.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// GridPlacement places n nodes on a square grid with the given spacing in
+// meters, row-major from the origin. If n is not a perfect square the last
+// row is partial. This mirrors the paper's analytic setup of "a uniform
+// density of nodes on the grid".
+func GridPlacement(n int, spacing float64) []Point {
+	if n <= 0 {
+		return nil
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		row, col := i/side, i%side
+		pts = append(pts, Point{X: float64(col) * spacing, Y: float64(row) * spacing})
+	}
+	return pts
+}
+
+// GridSide returns the number of columns GridPlacement uses for n nodes.
+func GridSide(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+// UniformPlacement places n nodes uniformly at random in r. The rand
+// function must return variates in [0,1) (pass rng.Float64).
+func UniformPlacement(n int, r Rect, rand func() float64) []Point {
+	if n <= 0 {
+		return nil
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{
+			X: r.Min.X + r.Width()*rand(),
+			Y: r.Min.Y + r.Height()*rand(),
+		})
+	}
+	return pts
+}
+
+// ChainPlacement places n nodes on a straight line with the given spacing,
+// the topology of the paper's §4 analytical model (k equally spaced relays).
+func ChainPlacement(n int, spacing float64) []Point {
+	if n <= 0 {
+		return nil
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{X: float64(i) * spacing, Y: 0})
+	}
+	return pts
+}

@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-3, -4}, Point{0, 0}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("Dist=%v, want %v", got, tt.want)
+			}
+			if got := tt.p.Dist2(tt.q); math.Abs(got-tt.want*tt.want) > 1e-9 {
+				t.Fatalf("Dist2=%v, want %v", got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetryAndTriangleProperty(t *testing.T) {
+	prop := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			return false
+		}
+		// Triangle inequality with tolerance for float error.
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFieldForDensity(t *testing.T) {
+	r := NewFieldForDensity(100, 0.04)
+	if math.Abs(r.Area()-100/0.04) > 1e-6 {
+		t.Fatalf("area=%v, want %v", r.Area(), 100/0.04)
+	}
+	if math.Abs(r.Width()-r.Height()) > 1e-9 {
+		t.Fatal("field should be square")
+	}
+	if got := NewFieldForDensity(0, 0.04); got.Area() != 0 {
+		t.Fatal("degenerate inputs should return empty field")
+	}
+}
+
+func TestRectContainsClamp(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{10, 10}}
+	if !r.Contains(Point{5, 5}) || !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 10}) {
+		t.Fatal("Contains rejected interior/boundary points")
+	}
+	if r.Contains(Point{-1, 5}) || r.Contains(Point{5, 11}) {
+		t.Fatal("Contains accepted exterior points")
+	}
+	got := r.Clamp(Point{-3, 15})
+	if got != (Point{0, 10}) {
+		t.Fatalf("Clamp=%v, want (0,10)", got)
+	}
+	if in := (Point{3, 4}); r.Clamp(in) != in {
+		t.Fatal("Clamp moved an interior point")
+	}
+}
+
+func TestGridPlacement(t *testing.T) {
+	pts := GridPlacement(9, 10)
+	if len(pts) != 9 {
+		t.Fatalf("len=%d, want 9", len(pts))
+	}
+	if pts[0] != (Point{0, 0}) || pts[4] != (Point{10, 10}) || pts[8] != (Point{20, 20}) {
+		t.Fatalf("unexpected grid: %v", pts)
+	}
+	// Non-perfect square: 5 nodes on a 3-wide grid.
+	pts = GridPlacement(5, 1)
+	if pts[3] != (Point{0, 1}) || pts[4] != (Point{1, 1}) {
+		t.Fatalf("partial row misplaced: %v", pts)
+	}
+	if GridPlacement(0, 1) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestGridPlacementUniqueness(t *testing.T) {
+	pts := GridPlacement(169, 5)
+	seen := make(map[Point]bool, len(pts))
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate point %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestGridSide(t *testing.T) {
+	tests := []struct{ n, want int }{{0, 0}, {1, 1}, {4, 2}, {5, 3}, {9, 3}, {169, 13}, {170, 14}}
+	for _, tt := range tests {
+		if got := GridSide(tt.n); got != tt.want {
+			t.Fatalf("GridSide(%d)=%d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestUniformPlacementInBounds(t *testing.T) {
+	r := Rect{Min: Point{10, 20}, Max: Point{30, 50}}
+	src := rand.New(rand.NewSource(1))
+	pts := UniformPlacement(500, r, src.Float64)
+	if len(pts) != 500 {
+		t.Fatalf("len=%d, want 500", len(pts))
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside field %v", p, r)
+		}
+	}
+}
+
+func TestChainPlacement(t *testing.T) {
+	pts := ChainPlacement(4, 2.5)
+	want := []Point{{0, 0}, {2.5, 0}, {5, 0}, {7.5, 0}}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("chain[%d]=%v, want %v", i, pts[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package mac models the channel-access delay of a slotted CSMA/CA MAC.
+//
+// Following the paper's §4 model (after Kim & Lee and Khattab et al.), the
+// expected contention delay for a transmission whose radio reaches n nodes
+// is G·n²: contention grows quadratically with the number of stations
+// sharing the channel. The simulation adds the slotted random backoff of
+// Table 1 (slot time 0.1 ms, 20 slots) on top of the deterministic term.
+//
+// The model is deliberately pluggable (the Delayer interface): the paper
+// notes that MAC models with higher powers of n, or exponential in n, would
+// only favor SPMS further.
+package mac
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterizes the CSMA/CA model. The zero value is not valid; use
+// DefaultConfig or AnalyticConfig.
+type Config struct {
+	// G is the proportionality constant of the deterministic G·n²
+	// contention term, in milliseconds. The paper's §4 analysis uses 0.01;
+	// the simulation (Table 1) models contention through slotted backoff
+	// plus carrier-sense channel serialization instead, so the simulation
+	// default is 0.
+	G float64
+	// SlotTime is the backoff slot duration (Table 1: 0.1 ms).
+	SlotTime time.Duration
+	// NumSlots is the size of the backoff window (Table 1: 20).
+	NumSlots int
+}
+
+// DefaultConfig returns the Table 1 simulation parameters: slotted backoff
+// only; contention emerges from carrier-sense serialization in the network
+// layer (see internal/network).
+func DefaultConfig() Config {
+	return Config{
+		G:        0,
+		SlotTime: 100 * time.Microsecond,
+		NumSlots: 20,
+	}
+}
+
+// AnalyticConfig returns the §4 model parameters, where the expected access
+// delay is the closed-form G·n² with G = 0.01 ms.
+func AnalyticConfig() Config {
+	return Config{
+		G:        0.01,
+		SlotTime: 100 * time.Microsecond,
+		NumSlots: 20,
+	}
+}
+
+// Validate checks the configuration is usable.
+func (c Config) Validate() error {
+	if c.G < 0 {
+		return fmt.Errorf("mac: negative contention constant G=%v", c.G)
+	}
+	if c.SlotTime < 0 {
+		return fmt.Errorf("mac: negative slot time %v", c.SlotTime)
+	}
+	if c.NumSlots < 0 {
+		return fmt.Errorf("mac: negative slot count %d", c.NumSlots)
+	}
+	return nil
+}
+
+// Delayer computes the channel-access delay for one transmission.
+// contenders is the number of nodes within the transmitter's current radio
+// range (including itself); backoffSlot must be a uniform variate in
+// [0, NumSlots) supplied by the caller's RNG (or 0 for analytic use).
+type Delayer interface {
+	AccessDelay(contenders int, backoffSlot int) time.Duration
+}
+
+// CSMA is the paper's quadratic-contention slotted CSMA/CA model.
+type CSMA struct {
+	cfg Config
+}
+
+var _ Delayer = (*CSMA)(nil)
+
+// NewCSMA builds the model, validating the configuration.
+func NewCSMA(cfg Config) (*CSMA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CSMA{cfg: cfg}, nil
+}
+
+// Config returns the model's configuration.
+func (c *CSMA) Config() Config { return c.cfg }
+
+// NumSlots returns the backoff window size, for callers drawing slots.
+func (c *CSMA) NumSlots() int { return c.cfg.NumSlots }
+
+// AccessDelay returns G·n² milliseconds plus backoffSlot slots. Negative
+// inputs are clamped to zero; a transmitter with no contenders still counts
+// itself, so contenders < 1 is treated as 1.
+func (c *CSMA) AccessDelay(contenders, backoffSlot int) time.Duration {
+	if contenders < 1 {
+		contenders = 1
+	}
+	if backoffSlot < 0 {
+		backoffSlot = 0
+	}
+	n := float64(contenders)
+	contention := time.Duration(c.cfg.G * n * n * float64(time.Millisecond))
+	return contention + time.Duration(backoffSlot)*c.cfg.SlotTime
+}
+
+// ExpectedAccessDelay returns the mean access delay for n contenders:
+// the deterministic G·n² term plus the mean backoff (NumSlots-1)/2 slots.
+// The analytic model in internal/analysis uses only the G·n² term, matching
+// the paper's equations.
+func (c *CSMA) ExpectedAccessDelay(contenders int) time.Duration {
+	if contenders < 1 {
+		contenders = 1
+	}
+	n := float64(contenders)
+	contention := time.Duration(c.cfg.G * n * n * float64(time.Millisecond))
+	meanBackoff := time.Duration(0)
+	if c.cfg.NumSlots > 1 {
+		meanBackoff = time.Duration(c.cfg.NumSlots-1) * c.cfg.SlotTime / 2
+	}
+	return contention + meanBackoff
+}

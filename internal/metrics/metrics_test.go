@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/radio"
+)
+
+func TestEnergyAccountBasics(t *testing.T) {
+	a := NewEnergyAccount(3)
+	if a.N() != 3 {
+		t.Fatalf("N=%d, want 3", a.N())
+	}
+	a.AddTx(0, 5)
+	a.AddRx(0, 2)
+	a.AddCtrl(0, 1)
+	a.AddTx(2, 10)
+	if got := a.Node(0); got.Tx != 5 || got.Rx != 2 || got.Ctrl != 1 {
+		t.Fatalf("node 0 breakdown = %+v", got)
+	}
+	if got := a.Node(0).Total(); got != 8 {
+		t.Fatalf("node 0 total = %v, want 8", got)
+	}
+	if got := a.Node(1).Total(); got != 0 {
+		t.Fatalf("untouched node total = %v, want 0", got)
+	}
+	if got := a.Total(); got != 18 {
+		t.Fatalf("Total=%v, want 18", got)
+	}
+	tb := a.TotalBreakdown()
+	if tb.Tx != 15 || tb.Rx != 2 || tb.Ctrl != 1 {
+		t.Fatalf("TotalBreakdown=%+v", tb)
+	}
+}
+
+func TestEnergyAccountPanics(t *testing.T) {
+	a := NewEnergyAccount(2)
+	cases := map[string]func(){
+		"out of range":    func() { a.AddTx(5, 1) },
+		"negative id":     func() { a.AddRx(-1, 1) },
+		"negative energy": func() { a.AddCtrl(0, -0.5) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestEnergyAccountNegativeSize(t *testing.T) {
+	a := NewEnergyAccount(-5)
+	if a.N() != 0 {
+		t.Fatalf("N=%d, want 0", a.N())
+	}
+}
+
+func TestEnergyAccountMonotonicProperty(t *testing.T) {
+	prop := func(adds []uint8) bool {
+		a := NewEnergyAccount(1)
+		var prev radio.Energy
+		for _, v := range adds {
+			a.AddTx(0, radio.Energy(v))
+			if a.Total() < prev {
+				return false
+			}
+			prev = a.Total()
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayStatsEmpty(t *testing.T) {
+	d := NewDelayStats()
+	if d.Count() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Fatal("empty stats should be all zero")
+	}
+}
+
+func TestDelayStatsAggregates(t *testing.T) {
+	d := NewDelayStats()
+	for _, ms := range []int{5, 1, 9, 3} {
+		d.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if d.Count() != 4 {
+		t.Fatalf("Count=%d, want 4", d.Count())
+	}
+	if d.Mean() != 4500*time.Microsecond {
+		t.Fatalf("Mean=%v, want 4.5ms", d.Mean())
+	}
+	if d.Min() != time.Millisecond || d.Max() != 9*time.Millisecond {
+		t.Fatalf("Min/Max=%v/%v", d.Min(), d.Max())
+	}
+}
+
+func TestDelayStatsPercentile(t *testing.T) {
+	d := NewDelayStats()
+	for i := 1; i <= 100; i++ {
+		d.Record(time.Duration(i) * time.Millisecond)
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{150, 100 * time.Millisecond}, // clamps
+		{1, time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := d.Percentile(tt.p); got != tt.want {
+			t.Fatalf("P%v=%v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestDelayStatsNegativePanics(t *testing.T) {
+	d := NewDelayStats()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay should panic")
+		}
+	}()
+	d.Record(-time.Millisecond)
+}
+
+func TestDelayStatsMeanBoundedProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := NewDelayStats()
+		for _, v := range raw {
+			d.Record(time.Duration(v) * time.Microsecond)
+		}
+		return d.Min() <= d.Mean() && d.Mean() <= d.Max()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.CountSend(packet.ADV)
+	c.CountSend(packet.ADV)
+	c.CountSend(packet.DATA)
+	if c.Sent[packet.ADV] != 2 || c.Sent[packet.DATA] != 1 {
+		t.Fatalf("Sent=%v", c.Sent)
+	}
+	if c.TotalSent() != 3 {
+		t.Fatalf("TotalSent=%d, want 3", c.TotalSent())
+	}
+	c.Delivered++
+	c.Failovers++
+	if c.Delivered != 1 || c.Failovers != 1 {
+		t.Fatal("manual counters broken")
+	}
+}

@@ -1,0 +1,238 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMICA2Table1Constants(t *testing.T) {
+	m := MICA2()
+	wantPower := []float64{3.1622, 0.7943, 0.1995, 0.05, 0.0125}
+	wantRange := []float64{91.44, 45.72, 22.86, 11.28, 5.48}
+	if m.NumLevels() != 5 {
+		t.Fatalf("NumLevels=%d, want 5", m.NumLevels())
+	}
+	for i := 0; i < 5; i++ {
+		l := Level(i + 1)
+		if got := m.PowerMW(l); got != wantPower[i] {
+			t.Fatalf("PowerMW(%d)=%v, want %v", l, got, wantPower[i])
+		}
+		if got := m.RangeM(l); got != wantRange[i] {
+			t.Fatalf("RangeM(%d)=%v, want %v", l, got, wantRange[i])
+		}
+	}
+	if m.MaxRange() != 91.44 {
+		t.Fatalf("MaxRange=%v, want 91.44", m.MaxRange())
+	}
+	if m.MinPower() != 5 {
+		t.Fatalf("MinPower=%v, want 5", m.MinPower())
+	}
+	if m.Alpha() != 3.5 {
+		t.Fatalf("Alpha=%v, want 3.5", m.Alpha())
+	}
+}
+
+func TestTxTimeMatchesTable1(t *testing.T) {
+	m := MICA2()
+	// Table 1: 0.05 ms/byte. A 2-byte ADV takes 0.1 ms; a 40-byte DATA 2 ms.
+	if got := m.TxTime(2); got != 100*time.Microsecond {
+		t.Fatalf("TxTime(2)=%v, want 100µs", got)
+	}
+	if got := m.TxTime(40); got != 2*time.Millisecond {
+		t.Fatalf("TxTime(40)=%v, want 2ms", got)
+	}
+	if m.TxTime(0) != 0 || m.TxTime(-5) != 0 {
+		t.Fatal("non-positive sizes must take zero time")
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	m := MICA2()
+	tests := []struct {
+		dist    float64
+		want    Level
+		wantOK  bool
+		comment string
+	}{
+		{0, 5, true, "zero distance uses lowest power"},
+		{5.48, 5, true, "exact lowest range boundary"},
+		{5.49, 4, true, "just past lowest range"},
+		{11.28, 4, true, "level-4 boundary"},
+		{20, 3, true, "mid level 3"},
+		{22.86, 3, true, "level-3 boundary"},
+		{45.72, 2, true, "level-2 boundary"},
+		{45.73, 1, true, "just past level 2"},
+		{91.44, 1, true, "max range boundary"},
+		{91.45, 0, false, "out of range"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.comment, func(t *testing.T) {
+			got, ok := m.LevelFor(tt.dist)
+			if got != tt.want || ok != tt.wantOK {
+				t.Fatalf("LevelFor(%v) = (%v, %v), want (%v, %v)", tt.dist, got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestLevelForIsMinimalPowerProperty(t *testing.T) {
+	m := MICA2()
+	prop := func(raw uint16) bool {
+		dist := float64(raw) / 65535 * m.MaxRange()
+		l, ok := m.LevelFor(dist)
+		if !ok {
+			return false
+		}
+		if m.RangeM(l) < dist {
+			return false // must reach
+		}
+		// No lower-power level may also reach.
+		for lower := l + 1; lower <= m.MinPower(); lower++ {
+			if m.RangeM(lower) >= dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxEnergy(t *testing.T) {
+	m := MICA2()
+	// 40 bytes at level 1: 3.1622 mW × 2 ms = 6.3244 µJ.
+	if got := m.TxEnergy(40, 1); math.Abs(float64(got)-6.3244) > 1e-9 {
+		t.Fatalf("TxEnergy(40,1)=%v, want 6.3244", got)
+	}
+	// 2 bytes at level 5: 0.0125 mW × 0.1 ms = 0.00125 µJ.
+	if got := m.TxEnergy(2, 5); math.Abs(float64(got)-0.00125) > 1e-12 {
+		t.Fatalf("TxEnergy(2,5)=%v, want 0.00125", got)
+	}
+	if m.TxEnergy(0, 1) != 0 {
+		t.Fatal("zero bytes must cost zero energy")
+	}
+}
+
+func TestRxEnergyEqualsLowestLevel(t *testing.T) {
+	m := MICA2()
+	// Paper: Er = Em (lowest transmit level).
+	if got, want := m.RxEnergy(40), m.TxEnergy(40, 5); got != want {
+		t.Fatalf("RxEnergy(40)=%v, want %v", got, want)
+	}
+	if m.RxEnergy(-1) != 0 {
+		t.Fatal("negative bytes must cost zero energy")
+	}
+}
+
+func TestEnergyMonotonicInLevelAndSize(t *testing.T) {
+	m := MICA2()
+	for l := Level(1); l < m.MinPower(); l++ {
+		if m.TxEnergy(10, l) <= m.TxEnergy(10, l+1) {
+			t.Fatalf("energy not decreasing with level: %v vs %v", l, l+1)
+		}
+	}
+	if m.TxEnergy(20, 1) <= m.TxEnergy(10, 1) {
+		t.Fatal("energy not increasing with size")
+	}
+}
+
+func TestInvalidLevelPanics(t *testing.T) {
+	m := MICA2()
+	for _, l := range []Level{0, 6, -1} {
+		l := l
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PowerMW(%d) did not panic", l)
+				}
+			}()
+			m.PowerMW(l)
+		}()
+	}
+}
+
+func TestScaledMICA2(t *testing.T) {
+	m, err := ScaledMICA2(20)
+	if err != nil {
+		t.Fatalf("ScaledMICA2: %v", err)
+	}
+	if math.Abs(m.MaxRange()-20) > 1e-9 {
+		t.Fatalf("MaxRange=%v, want 20", m.MaxRange())
+	}
+	// Range ratios preserved: level 2 is half of level 1 in MICA2.
+	if r := m.RangeM(2) / m.RangeM(1); math.Abs(r-45.72/91.44) > 1e-9 {
+		t.Fatalf("range ratio %v, want %v", r, 45.72/91.44)
+	}
+	// Power scales as s^alpha.
+	s := 20.0 / 91.44
+	wantP1 := 3.1622 * math.Pow(s, 3.5)
+	if math.Abs(m.PowerMW(1)-wantP1) > 1e-9 {
+		t.Fatalf("PowerMW(1)=%v, want %v", m.PowerMW(1), wantP1)
+	}
+	// Relative level economics preserved.
+	orig := MICA2()
+	if r1, r2 := m.PowerMW(1)/m.PowerMW(3), orig.PowerMW(1)/orig.PowerMW(3); math.Abs(r1-r2) > 1e-9 {
+		t.Fatalf("power ratio changed under scaling: %v vs %v", r1, r2)
+	}
+	if _, err := ScaledMICA2(0); err == nil {
+		t.Fatal("ScaledMICA2(0) should fail")
+	}
+	if _, err := ScaledMICA2(-3); err == nil {
+		t.Fatal("ScaledMICA2(-3) should fail")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		powers  []float64
+		ranges  []float64
+		perByte time.Duration
+		rx      float64
+		wantErr bool
+	}{
+		{"valid", []float64{2, 1}, []float64{50, 25}, time.Microsecond, 0.5, false},
+		{"empty", nil, nil, time.Microsecond, 0.5, true},
+		{"mismatched", []float64{2}, []float64{50, 25}, time.Microsecond, 0.5, true},
+		{"non-decreasing ranges", []float64{2, 1}, []float64{25, 50}, time.Microsecond, 0.5, true},
+		{"equal ranges", []float64{2, 1}, []float64{50, 50}, time.Microsecond, 0.5, true},
+		{"zero power", []float64{0, 1}, []float64{50, 25}, time.Microsecond, 0.5, true},
+		{"zero per-byte", []float64{2, 1}, []float64{50, 25}, 0, 0.5, true},
+		{"negative rx", []float64{2, 1}, []float64{50, 25}, time.Microsecond, -1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewModel(tt.powers, tt.ranges, tt.perByte, tt.rx, 2)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewModelDefaultsAlpha(t *testing.T) {
+	m, err := NewModel([]float64{2, 1}, []float64{50, 25}, time.Microsecond, 0.5, 0)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	if m.Alpha() != DefaultAlpha {
+		t.Fatalf("Alpha=%v, want default %v", m.Alpha(), DefaultAlpha)
+	}
+}
+
+func TestPathLossEnergy(t *testing.T) {
+	m := MICA2()
+	if m.PathLossEnergy(0) != 0 || m.PathLossEnergy(-2) != 0 {
+		t.Fatal("non-positive distance must cost zero")
+	}
+	if got, want := m.PathLossEnergy(2), math.Pow(2, 3.5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PathLossEnergy(2)=%v, want %v", got, want)
+	}
+	// Superlinearity: doubling distance more than doubles energy.
+	if m.PathLossEnergy(10) <= 2*m.PathLossEnergy(5) {
+		t.Fatal("path loss should be superlinear in distance")
+	}
+}

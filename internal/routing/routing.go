@@ -1,0 +1,346 @@
+// Package routing implements the paper's intra-zone route formation: a
+// synchronous Distributed Bellman-Ford (DBF) over the graph whose edge
+// weight w(i,j) is the minimum transmit power at which i reaches j. DBF
+// "finds the shortest path between any two nodes in the weighted graph"
+// (§3.2); keeping n entries per destination tolerates n concurrent relay
+// failures — the paper's implementation (and ours, by default) keeps the
+// shortest and the second shortest path.
+//
+// The algorithm is executed as the real distributed protocol would be: in
+// rounds, each node whose distance vector changed broadcasts it to its zone
+// neighbors. The number of broadcasts is recorded so the mobility
+// experiments (§5.1.3) can charge routing-convergence energy.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/topo"
+)
+
+// DefaultAlternatives is the number of next-hop entries kept per
+// destination: the shortest and second-shortest path (§5.1.2).
+const DefaultAlternatives = 2
+
+// Edge is one usable radio link: the lowest-power level that spans it and
+// that level's power draw, which is the link's routing weight.
+type Edge struct {
+	To       packet.NodeID
+	WeightMW float64
+	Level    radio.Level
+}
+
+// Graph is the connectivity snapshot DBF runs on. Rebuild it after nodes
+// move.
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// BuildGraph derives the link graph from current node positions: an edge
+// exists between every pair of zone neighbors, weighted by the minimum
+// power to cross it.
+func BuildGraph(f *topo.Field) *Graph {
+	n := f.N()
+	g := &Graph{n: n, adj: make([][]Edge, n)}
+	m := f.Model()
+	for i := 0; i < n; i++ {
+		src := packet.NodeID(i)
+		for _, dst := range f.ZoneNeighbors(src) {
+			level, ok := f.LevelTo(src, dst)
+			if !ok {
+				continue // zone boundary race after a move; skip
+			}
+			g.adj[i] = append(g.adj[i], Edge{To: dst, WeightMW: m.PowerMW(level), Level: level})
+		}
+	}
+	return g
+}
+
+// N returns the number of nodes in the graph.
+func (g *Graph) N() int { return g.n }
+
+// Neighbors returns node id's outgoing edges. The slice is owned by the
+// graph; callers must not modify it.
+func (g *Graph) Neighbors(id packet.NodeID) []Edge {
+	if id < 0 || int(id) >= g.n {
+		panic(fmt.Sprintf("routing: node id %d out of range [0,%d)", id, g.n))
+	}
+	return g.adj[id]
+}
+
+// Entry is one routing-table row: reach the destination via NextHop at
+// total path cost Cost (mW-weighted) in Hops hops.
+type Entry struct {
+	NextHop packet.NodeID
+	Cost    float64
+	Hops    int
+}
+
+// Tables is the converged output of one DBF execution for every node.
+type Tables struct {
+	n      int
+	k      int
+	dist   [][]float64 // dist[i][d]: shortest cost i→d (math.Inf if none)
+	hops   [][]int     // hops on the shortest path
+	routes [][][]Entry // routes[i][d]: up to k entries, best first
+
+	rounds        int
+	broadcasts    int
+	perNodeBcasts []int
+}
+
+// Compute runs synchronous DBF to convergence and derives k-alternative
+// routing tables. k < 1 is treated as DefaultAlternatives.
+func Compute(g *Graph, k int) *Tables {
+	if k < 1 {
+		k = DefaultAlternatives
+	}
+	n := g.n
+	t := &Tables{
+		n:             n,
+		k:             k,
+		dist:          make([][]float64, n),
+		hops:          make([][]int, n),
+		routes:        make([][][]Entry, n),
+		perNodeBcasts: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.dist[i] = make([]float64, n)
+		t.hops[i] = make([]int, n)
+		for d := 0; d < n; d++ {
+			if i == d {
+				t.dist[i][d] = 0
+			} else {
+				t.dist[i][d] = math.Inf(1)
+				t.hops[i][d] = -1
+			}
+		}
+	}
+
+	// Round 0: every node announces its initial vector (distance 0 to
+	// itself) to its neighbors.
+	changed := make([]bool, n)
+	for i := range changed {
+		changed[i] = true
+	}
+	for {
+		anyChanged := false
+		for i := range changed {
+			if changed[i] {
+				anyChanged = true
+				t.broadcasts++
+				t.perNodeBcasts[i]++
+			}
+		}
+		if !anyChanged {
+			break
+		}
+		t.rounds++
+
+		// Each node recomputes from the vectors its neighbors broadcast
+		// this round. Synchronous update: read old state, write new.
+		next := make([]bool, n)
+		newDist := make([][]float64, n)
+		newHops := make([][]int, n)
+		for i := 0; i < n; i++ {
+			newDist[i] = make([]float64, n)
+			newHops[i] = make([]int, n)
+			copy(newDist[i], t.dist[i])
+			copy(newHops[i], t.hops[i])
+			for _, e := range g.adj[i] {
+				if !changed[e.To] {
+					continue // that neighbor did not broadcast this round
+				}
+				j := int(e.To)
+				for d := 0; d < n; d++ {
+					if i == d || math.IsInf(t.dist[j][d], 1) {
+						continue
+					}
+					cand := e.WeightMW + t.dist[j][d]
+					candHops := 1 + t.hops[j][d]
+					if cand < newDist[i][d]-costEpsilon ||
+						(approxEqual(cand, newDist[i][d]) && candHops < newHops[i][d]) {
+						newDist[i][d] = cand
+						newHops[i][d] = candHops
+						next[i] = true
+					}
+				}
+			}
+		}
+		t.dist = newDist
+		t.hops = newHops
+		changed = next
+	}
+
+	t.deriveRoutes(g)
+	return t
+}
+
+// costEpsilon absorbs float error when comparing accumulated link weights.
+const costEpsilon = 1e-12
+
+func approxEqual(a, b float64) bool { return math.Abs(a-b) <= costEpsilon }
+
+// deriveRoutes builds the k-alternative tables from converged distances:
+// for each (src, dst), the candidate cost via each neighbor j is
+// w(src,j) + dist(j,dst); keep the best k with distinct next hops.
+func (t *Tables) deriveRoutes(g *Graph) {
+	for i := 0; i < t.n; i++ {
+		t.routes[i] = make([][]Entry, t.n)
+		for d := 0; d < t.n; d++ {
+			if i == d {
+				continue
+			}
+			var cands []Entry
+			for _, e := range g.adj[i] {
+				j := int(e.To)
+				if math.IsInf(t.dist[j][d], 1) {
+					continue
+				}
+				cands = append(cands, Entry{
+					NextHop: e.To,
+					Cost:    e.WeightMW + t.dist[j][d],
+					Hops:    1 + t.hops[j][d],
+				})
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				if !approxEqual(cands[a].Cost, cands[b].Cost) {
+					return cands[a].Cost < cands[b].Cost
+				}
+				if cands[a].Hops != cands[b].Hops {
+					return cands[a].Hops < cands[b].Hops
+				}
+				return cands[a].NextHop < cands[b].NextHop
+			})
+			if len(cands) > t.k {
+				cands = cands[:t.k]
+			}
+			t.routes[i][d] = cands
+		}
+	}
+}
+
+// Rounds returns how many synchronous rounds DBF took to converge.
+func (t *Tables) Rounds() int { return t.rounds }
+
+// Broadcasts returns the total number of distance-vector broadcasts, the
+// unit of routing-convergence cost.
+func (t *Tables) Broadcasts() int { return t.broadcasts }
+
+// NodeBroadcasts returns how many vector broadcasts node id made.
+func (t *Tables) NodeBroadcasts(id packet.NodeID) int {
+	t.check(id)
+	return t.perNodeBcasts[id]
+}
+
+func (t *Tables) check(id packet.NodeID) {
+	if id < 0 || int(id) >= t.n {
+		panic(fmt.Sprintf("routing: node id %d out of range [0,%d)", id, t.n))
+	}
+}
+
+// Routes returns up to k alternative entries for src→dst, best first.
+// The slice is owned by the table; callers must not modify it.
+func (t *Tables) Routes(src, dst packet.NodeID) []Entry {
+	t.check(src)
+	t.check(dst)
+	if src == dst {
+		return nil
+	}
+	return t.routes[src][dst]
+}
+
+// NextHop returns the primary next hop for src→dst.
+func (t *Tables) NextHop(src, dst packet.NodeID) (packet.NodeID, bool) {
+	rs := t.Routes(src, dst)
+	if len(rs) == 0 {
+		return packet.None, false
+	}
+	return rs[0].NextHop, true
+}
+
+// Cost returns the shortest-path cost src→dst in summed milliwatts.
+func (t *Tables) Cost(src, dst packet.NodeID) (float64, bool) {
+	t.check(src)
+	t.check(dst)
+	d := t.dist[src][dst]
+	if math.IsInf(d, 1) {
+		return 0, false
+	}
+	return d, true
+}
+
+// Hops returns the hop count of the shortest path src→dst.
+func (t *Tables) Hops(src, dst packet.NodeID) (int, bool) {
+	t.check(src)
+	t.check(dst)
+	if math.IsInf(t.dist[src][dst], 1) {
+		return 0, false
+	}
+	return t.hops[src][dst], true
+}
+
+// Path materializes the primary route src→dst by following next hops.
+// Returns nil if dst is unreachable. The result includes both endpoints.
+func (t *Tables) Path(src, dst packet.NodeID) []packet.NodeID {
+	t.check(src)
+	t.check(dst)
+	if src == dst {
+		return []packet.NodeID{src}
+	}
+	path := []packet.NodeID{src}
+	cur := src
+	for cur != dst {
+		next, ok := t.NextHop(cur, dst)
+		if !ok {
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > t.n {
+			// A loop would indicate inconsistent tables; DBF on a static
+			// snapshot cannot produce one, so this is a bug guard.
+			panic(fmt.Sprintf("routing: next-hop loop from %d to %d: %v", src, dst, path))
+		}
+	}
+	return path
+}
+
+// CtrlEntryBytes is the on-air size of one distance-vector entry
+// (destination id + path cost), the unit a DBF broadcast's payload scales
+// with.
+const CtrlEntryBytes = 4
+
+// ChargeConvergenceEnergy charges one DBF execution's radio traffic to the
+// energy account: each vector broadcast is a control packet at maximum
+// power carrying the broadcaster's distance vector — CtrlEntryBytes per
+// zone destination, floored at the base CTRL size — received by every zone
+// neighbor. This is the cost §5.1.3 includes in SPMS's mobility-scenario
+// energy.
+func ChargeConvergenceEnergy(t *Tables, f *topo.Field, sizes packet.Sizes, acct *metrics.EnergyAccount) {
+	m := f.Model()
+	for i := 0; i < t.n; i++ {
+		id := packet.NodeID(i)
+		b := t.perNodeBcasts[i]
+		if b == 0 {
+			continue
+		}
+		neighbors := f.ZoneNeighbors(id)
+		vectorBytes := CtrlEntryBytes * (1 + len(neighbors))
+		if base := sizes.Of(packet.CTRL); vectorBytes < base {
+			vectorBytes = base
+		}
+		txE := m.TxEnergy(vectorBytes, radio.MaxPower)
+		rxE := m.RxEnergy(vectorBytes)
+		acct.AddCtrl(id, radio.Energy(float64(b))*txE)
+		for _, nb := range neighbors {
+			acct.AddCtrl(nb, radio.Energy(float64(b))*rxE)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RNG is a seeded source of the random variates the simulation needs.
+// It wraps math/rand.Rand so that a single seed fully determines a run.
+// RNG is not safe for concurrent use, matching the single-threaded kernel.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uniform returns a uniform variate in [lo, hi). If hi <= lo it returns lo.
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// UniformDuration returns a uniform duration in [lo, hi). If hi <= lo it
+// returns lo.
+func (g *RNG) UniformDuration(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(g.r.Int63n(int64(hi-lo)))
+}
+
+// Exp returns an exponential variate with the given mean. This is the
+// inter-arrival time of a Poisson process with rate 1/mean. A non-positive
+// mean returns 0.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// ExpDuration returns an exponential variate with the given mean duration.
+func (g *RNG) ExpDuration(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := g.r.ExpFloat64() * float64(mean)
+	if d > math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(d)
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Fork derives an independent deterministic stream from this one. Use a fork
+// per subsystem (workload, failures, mobility) so adding draws in one
+// subsystem does not perturb the others.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}

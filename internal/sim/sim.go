@@ -1,0 +1,238 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate for every experiment in this repository: nodes
+// are passive state machines whose handlers run only when the scheduler
+// dispatches an event. Virtual time is a time.Duration measured from the
+// start of the simulation. Two events scheduled for the same instant fire in
+// the order they were scheduled, which — combined with a seeded RNG — makes
+// every run bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the simulation was stopped
+// explicitly via Stop before the run condition was met.
+var ErrStopped = errors.New("sim: stopped")
+
+// Handler is a scheduled callback. It runs with the clock set to the
+// event's timestamp.
+type Handler func()
+
+// event is a scheduled handler. seq breaks ties between events at the same
+// virtual instant so dispatch order is deterministic.
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // heap index, maintained by eventQueue
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic(fmt.Sprintf("sim: eventQueue.Push: unexpected type %T", x))
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event. The zero value is an inert timer:
+// Cancel and Active are safe to call and do nothing.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's handler from running. Canceling an already
+// fired or already canceled timer is a no-op. It reports whether the call
+// actually canceled a pending event.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Active reports whether the timer is still pending: scheduled, not yet
+// fired, and not canceled.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+// At returns the virtual time the timer is (or was) scheduled to fire.
+func (t *Timer) At() time.Duration {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Scheduler owns the virtual clock and the pending event set. The zero value
+// is ready to use. Scheduler is not safe for concurrent use: the simulation
+// model is single-threaded by design (see DESIGN.md §5.1).
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	// dispatched counts events that have fired, for observability and as a
+	// runaway guard in tests.
+	dispatched uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Len returns the number of pending (non-canceled) events. Canceled events
+// still occupy queue slots until popped, so this walks the queue; it is
+// intended for tests and diagnostics, not hot paths.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Dispatched returns the total number of events that have fired.
+func (s *Scheduler) Dispatched() uint64 { return s.dispatched }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past (before Now) panics: it is always a model bug, and silently clamping
+// would mask causality violations.
+func (s *Scheduler) At(at time.Duration, fn Handler) *Timer {
+	if fn == nil {
+		panic("sim: Scheduler.At: nil handler")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: Scheduler.At: scheduling at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. A negative d
+// panics, matching At's past-scheduling rule.
+func (s *Scheduler) After(d time.Duration, fn Handler) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes the current or next Run call return ErrStopped after the
+// in-flight handler (if any) completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step pops and dispatches the earliest pending event. It reports whether an
+// event fired.
+func (s *Scheduler) step() bool {
+	for len(s.queue) > 0 {
+		ev, ok := heap.Pop(&s.queue).(*event)
+		if !ok {
+			panic("sim: corrupt event queue")
+		}
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		s.dispatched++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty or the clock would pass
+// until. Events scheduled exactly at until do fire. On normal completion the
+// clock is advanced to until if the queue drained early, so repeated Run
+// calls see monotonic time. Returns ErrStopped if Stop was called.
+func (s *Scheduler) Run(until time.Duration) error {
+	if until < s.now {
+		return fmt.Errorf("sim: Run until %v is before now %v", until, s.now)
+	}
+	for {
+		if s.stopped {
+			s.stopped = false
+			return ErrStopped
+		}
+		next, ok := s.peek()
+		if !ok || next > until {
+			s.now = until
+			return nil
+		}
+		s.step()
+	}
+}
+
+// RunUntilIdle dispatches events until no pending events remain. Returns
+// ErrStopped if Stop was called. The maxEvents guard converts an accidental
+// self-perpetuating event loop into a diagnosable error instead of a hang.
+func (s *Scheduler) RunUntilIdle(maxEvents uint64) error {
+	start := s.dispatched
+	for {
+		if s.stopped {
+			s.stopped = false
+			return ErrStopped
+		}
+		if maxEvents > 0 && s.dispatched-start >= maxEvents {
+			return fmt.Errorf("sim: RunUntilIdle exceeded %d events at t=%v", maxEvents, s.now)
+		}
+		if !s.step() {
+			return nil
+		}
+	}
+}
+
+// peek returns the timestamp of the earliest pending event.
+func (s *Scheduler) peek() (time.Duration, bool) {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if !ev.canceled {
+			return ev.at, true
+		}
+		heap.Pop(&s.queue)
+	}
+	return 0, false
+}

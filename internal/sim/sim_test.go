@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerDispatchOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatched %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-instant events fired out of scheduling order: %v", got)
+	}
+	if len(got) != 10 {
+		t.Fatalf("fired %d events, want 10", len(got))
+	}
+}
+
+func TestSchedulerClockAdvances(t *testing.T) {
+	s := NewScheduler()
+	var at time.Duration
+	s.At(7*time.Millisecond, func() { at = s.Now() })
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if at != 7*time.Millisecond {
+		t.Fatalf("handler observed Now()=%v, want 7ms", at)
+	}
+	if s.Now() != 7*time.Millisecond {
+		t.Fatalf("final Now()=%v, want 7ms", s.Now())
+	}
+}
+
+func TestSchedulerAfterIsRelative(t *testing.T) {
+	s := NewScheduler()
+	var second time.Duration
+	s.At(4*time.Millisecond, func() {
+		s.After(6*time.Millisecond, func() { second = s.Now() })
+	})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if second != 10*time.Millisecond {
+		t.Fatalf("chained event fired at %v, want 10ms", second)
+	}
+}
+
+func TestSchedulerPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*time.Millisecond, func() {})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5*time.Millisecond, func() {})
+}
+
+func TestSchedulerNilHandlerPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	s.At(time.Millisecond, nil)
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	timer := s.At(time.Millisecond, func() { fired = true })
+	if !timer.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !timer.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if timer.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if timer.Active() {
+		t.Fatal("canceled timer should not be active")
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestTimerCancelAfterFireIsNoop(t *testing.T) {
+	s := NewScheduler()
+	timer := s.At(time.Millisecond, func() {})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if timer.Active() {
+		t.Fatal("fired timer should not be active")
+	}
+	if timer.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+}
+
+func TestZeroTimerIsInert(t *testing.T) {
+	var timer Timer
+	if timer.Active() {
+		t.Fatal("zero timer should be inactive")
+	}
+	if timer.Cancel() {
+		t.Fatal("zero timer Cancel should report false")
+	}
+	if timer.At() != 0 {
+		t.Fatal("zero timer At should be 0")
+	}
+	var nilTimer *Timer
+	if nilTimer.Active() || nilTimer.Cancel() {
+		t.Fatal("nil timer should be inert")
+	}
+}
+
+func TestRunStopsAtBoundary(t *testing.T) {
+	s := NewScheduler()
+	var fired []time.Duration
+	for _, at := range []time.Duration{1, 2, 3, 4, 5} {
+		at := at * time.Millisecond
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	if err := s.Run(3 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by 3ms, want 3 (events at boundary must fire)", len(fired))
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("Now()=%v after Run(3ms)", s.Now())
+	}
+	if err := s.Run(10 * time.Millisecond); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunIntoPastFails(t *testing.T) {
+	s := NewScheduler()
+	s.At(5*time.Millisecond, func() {})
+	if err := s.Run(5 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Run(time.Millisecond); err == nil {
+		t.Fatal("Run into the past should fail")
+	}
+}
+
+func TestStopInterruptsRun(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count == 5 {
+			s.Stop()
+		}
+		s.After(time.Millisecond, reschedule)
+	}
+	s.After(time.Millisecond, reschedule)
+	err := s.RunUntilIdle(0)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("RunUntilIdle err=%v, want ErrStopped", err)
+	}
+	if count != 5 {
+		t.Fatalf("dispatched %d events before stop, want 5", count)
+	}
+	// The scheduler is reusable after a stop.
+	if err := s.Run(s.Now() + 2*time.Millisecond); err != nil {
+		t.Fatalf("Run after Stop: %v", err)
+	}
+}
+
+func TestRunUntilIdleGuard(t *testing.T) {
+	s := NewScheduler()
+	var loop func()
+	loop = func() { s.After(time.Microsecond, loop) }
+	s.After(time.Microsecond, loop)
+	if err := s.RunUntilIdle(100); err == nil {
+		t.Fatal("runaway loop should trip the maxEvents guard")
+	}
+}
+
+func TestLenCountsPending(t *testing.T) {
+	s := NewScheduler()
+	a := s.At(time.Millisecond, func() {})
+	s.At(2*time.Millisecond, func() {})
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len()=%d, want 2", got)
+	}
+	a.Cancel()
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len()=%d after cancel, want 1", got)
+	}
+}
+
+func TestDispatchedCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 1; i <= 4; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	canceled := s.At(5*time.Millisecond, func() {})
+	canceled.Cancel()
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if s.Dispatched() != 4 {
+		t.Fatalf("Dispatched()=%d, want 4 (canceled events do not count)", s.Dispatched())
+	}
+}
+
+// TestSchedulerOrderProperty checks, for arbitrary schedules, that handlers
+// observe a non-decreasing clock and that every non-canceled event fires
+// exactly once.
+func TestSchedulerOrderProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		if len(offsets) > 256 {
+			offsets = offsets[:256]
+		}
+		s := NewScheduler()
+		var last time.Duration
+		ordered := true
+		fired := 0
+		for _, off := range offsets {
+			s.At(time.Duration(off)*time.Microsecond, func() {
+				if s.Now() < last {
+					ordered = false
+				}
+				last = s.Now()
+				fired++
+			})
+		}
+		if err := s.RunUntilIdle(0); err != nil {
+			return false
+		}
+		return ordered && fired == len(offsets)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+	if got := g.Uniform(5, 2); got != 5 {
+		t.Fatalf("degenerate Uniform returned %v, want lo", got)
+	}
+}
+
+func TestRNGUniformDurationBounds(t *testing.T) {
+	g := NewRNG(2)
+	lo, hi := 5*time.Millisecond, 15*time.Millisecond
+	for i := 0; i < 10000; i++ {
+		v := g.UniformDuration(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("UniformDuration out of range: %v", v)
+		}
+	}
+	if got := g.UniformDuration(hi, lo); got != hi {
+		t.Fatalf("degenerate UniformDuration returned %v, want lo arg", got)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := g.Exp(50)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 48 || mean > 52 {
+		t.Fatalf("Exp(50) sample mean %v, want ≈50", mean)
+	}
+	if g.Exp(0) != 0 || g.Exp(-1) != 0 {
+		t.Fatal("non-positive mean should return 0")
+	}
+}
+
+func TestRNGExpDurationMean(t *testing.T) {
+	g := NewRNG(4)
+	const n = 100000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += g.ExpDuration(10 * time.Millisecond)
+	}
+	mean := sum / n
+	if mean < 9500*time.Microsecond || mean > 10500*time.Microsecond {
+		t.Fatalf("ExpDuration(10ms) sample mean %v, want ≈10ms", mean)
+	}
+	if g.ExpDuration(0) != 0 {
+		t.Fatal("zero mean should return 0")
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	g := NewRNG(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.05) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.045 || p > 0.055 {
+		t.Fatalf("Bool(0.05) hit rate %v, want ≈0.05", p)
+	}
+	if g.Bool(0) || g.Bool(-1) {
+		t.Fatal("Bool(<=0) must be false")
+	}
+	if !g.Bool(1) || !g.Bool(2) {
+		t.Fatal("Bool(>=1) must be true")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent1 := NewRNG(7)
+	fork1 := parent1.Fork()
+	seq1 := []float64{fork1.Float64(), fork1.Float64(), fork1.Float64()}
+
+	parent2 := NewRNG(7)
+	fork2 := parent2.Fork()
+	// Draw extra values from parent2 after forking; the fork stream must not
+	// be perturbed.
+	parent2.Float64()
+	parent2.Float64()
+	seq2 := []float64{fork2.Float64(), fork2.Float64(), fork2.Float64()}
+
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatal("fork stream depends on parent draws after forking")
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	g := NewRNG(8)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,251 @@
+// Package topo models the sensor field: node positions, zone neighborhoods,
+// power-level selection between nodes, and the mobility model of §5.1.3
+// (at discrete times a random fraction of nodes relocates, after which
+// routing must re-converge).
+//
+// A zone, per the paper, is the region a node can reach transmitting at its
+// maximum power level; the nodes inside it are the node's zone neighbors.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Field is the set of node positions plus the shared radio model. It caches
+// zone-neighbor lists and invalidates them when nodes move.
+type Field struct {
+	model  *radio.Model
+	pos    []geom.Point
+	bounds geom.Rect
+
+	zoneCache [][]packet.NodeID
+	dirty     bool
+}
+
+// DefaultGridSpacing is the default inter-node distance in meters. 5 m on a
+// grid with the MICA2 lowest power range (5.48 m) gives ns = 5 reachable
+// nodes at minimum power and n1 ≈ 45 at a 20 m zone radius — the values the
+// paper takes from [9].
+const DefaultGridSpacing = 5.0
+
+// NewGridField places n nodes on a square grid with the given spacing.
+func NewGridField(n int, spacing float64, m *radio.Model) (*Field, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: non-positive node count %d", n)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("topo: non-positive spacing %v", spacing)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("topo: nil radio model")
+	}
+	pts := geom.GridPlacement(n, spacing)
+	side := float64(geom.GridSide(n)-1) * spacing
+	return &Field{
+		model:  m,
+		pos:    pts,
+		bounds: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: side, Y: side}},
+		dirty:  true,
+	}, nil
+}
+
+// NewUniformField places n nodes uniformly at random in bounds.
+func NewUniformField(n int, bounds geom.Rect, m *radio.Model, rng *sim.RNG) (*Field, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: non-positive node count %d", n)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("topo: nil radio model")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topo: nil rng")
+	}
+	if bounds.Area() <= 0 {
+		return nil, fmt.Errorf("topo: empty bounds %+v", bounds)
+	}
+	return &Field{
+		model:  m,
+		pos:    geom.UniformPlacement(n, bounds, rng.Float64),
+		bounds: bounds,
+		dirty:  true,
+	}, nil
+}
+
+// NewChainField places n nodes on a straight line, the §4 analytic topology.
+func NewChainField(n int, spacing float64, m *radio.Model) (*Field, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: non-positive node count %d", n)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("topo: non-positive spacing %v", spacing)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("topo: nil radio model")
+	}
+	pts := geom.ChainPlacement(n, spacing)
+	return &Field{
+		model:  m,
+		pos:    pts,
+		bounds: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: float64(n-1) * spacing, Y: 0}},
+		dirty:  true,
+	}, nil
+}
+
+// N returns the number of nodes.
+func (f *Field) N() int { return len(f.pos) }
+
+// Model returns the shared radio model.
+func (f *Field) Model() *radio.Model { return f.model }
+
+// Bounds returns the field rectangle used for random relocation.
+func (f *Field) Bounds() geom.Rect { return f.bounds }
+
+// Pos returns the position of node id.
+func (f *Field) Pos(id packet.NodeID) geom.Point {
+	f.check(id)
+	return f.pos[id]
+}
+
+// Dist returns the distance in meters between two nodes.
+func (f *Field) Dist(a, b packet.NodeID) float64 {
+	f.check(a)
+	f.check(b)
+	return f.pos[a].Dist(f.pos[b])
+}
+
+// LevelTo returns the lowest-power level at which a reaches b, and whether
+// b is reachable at all (i.e. a zone neighbor).
+func (f *Field) LevelTo(a, b packet.NodeID) (radio.Level, bool) {
+	return f.model.LevelFor(f.Dist(a, b))
+}
+
+// ZoneNeighbors returns the ids of the nodes within node id's zone
+// (reachable at maximum power), excluding id itself. The returned slice is
+// owned by the cache; callers must not modify it.
+func (f *Field) ZoneNeighbors(id packet.NodeID) []packet.NodeID {
+	f.check(id)
+	f.rebuildZones()
+	return f.zoneCache[id]
+}
+
+// InZone reports whether b lies within a's zone.
+func (f *Field) InZone(a, b packet.NodeID) bool {
+	if a == b {
+		return false
+	}
+	return f.Dist(a, b) <= f.model.MaxRange()
+}
+
+// Contenders returns how many nodes (including the transmitter itself) lie
+// within the transmitter's radio range at level l — the "n" of the MAC
+// G·n² contention model.
+func (f *Field) Contenders(id packet.NodeID, l radio.Level) int {
+	f.check(id)
+	r := f.model.RangeM(l)
+	n := 0
+	for i := range f.pos {
+		if f.pos[id].Dist(f.pos[i]) <= r {
+			n++
+		}
+	}
+	return n
+}
+
+// ReachedBy returns the ids of all nodes (excluding src) within src's radio
+// range at level l: the receivers of a broadcast at that level. The slice is
+// freshly allocated.
+func (f *Field) ReachedBy(src packet.NodeID, l radio.Level) []packet.NodeID {
+	f.check(src)
+	r := f.model.RangeM(l)
+	var out []packet.NodeID
+	for i := range f.pos {
+		id := packet.NodeID(i)
+		if id == src {
+			continue
+		}
+		if f.pos[src].Dist(f.pos[i]) <= r {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Move relocates node id, invalidating neighbor caches.
+func (f *Field) Move(id packet.NodeID, p geom.Point) {
+	f.check(id)
+	f.pos[id] = f.bounds.Clamp(p)
+	f.dirty = true
+}
+
+// RelocateFraction moves ceil(frac·N) randomly chosen nodes to uniform
+// random positions in the field, returning the moved ids. This is the
+// paper's mobility event: "a predefined fraction of nodes move; the nodes
+// which are to move and their destination are chosen randomly."
+func (f *Field) RelocateFraction(frac float64, rng *sim.RNG) []packet.NodeID {
+	if frac <= 0 || rng == nil {
+		return nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := int(frac * float64(len(f.pos)))
+	if k == 0 {
+		k = 1
+	}
+	perm := rng.Perm(len(f.pos))
+	moved := make([]packet.NodeID, 0, k)
+	for _, idx := range perm[:k] {
+		id := packet.NodeID(idx)
+		f.pos[id] = geom.Point{
+			X: f.bounds.Min.X + f.bounds.Width()*rng.Float64(),
+			Y: f.bounds.Min.Y + f.bounds.Height()*rng.Float64(),
+		}
+		moved = append(moved, id)
+	}
+	f.dirty = true
+	return moved
+}
+
+// MeanZoneSize returns the average zone-neighbor count, a sanity metric the
+// experiments report (the paper expects 5–50 nodes per zone).
+func (f *Field) MeanZoneSize() float64 {
+	f.rebuildZones()
+	total := 0
+	for _, z := range f.zoneCache {
+		total += len(z)
+	}
+	return float64(total) / float64(len(f.pos))
+}
+
+func (f *Field) rebuildZones() {
+	if !f.dirty && f.zoneCache != nil {
+		return
+	}
+	r := f.model.MaxRange()
+	cache := make([][]packet.NodeID, len(f.pos))
+	for i := range f.pos {
+		var zs []packet.NodeID
+		for j := range f.pos {
+			if i == j {
+				continue
+			}
+			if f.pos[i].Dist(f.pos[j]) <= r {
+				zs = append(zs, packet.NodeID(j))
+			}
+		}
+		cache[i] = zs
+	}
+	f.zoneCache = cache
+	f.dirty = false
+}
+
+func (f *Field) check(id packet.NodeID) {
+	if id < 0 || int(id) >= len(f.pos) {
+		panic(fmt.Sprintf("topo: node id %d out of range [0,%d)", id, len(f.pos)))
+	}
+}

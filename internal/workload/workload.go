@@ -1,0 +1,251 @@
+// Package workload generates the paper's two traffic patterns (§5):
+//
+//   - All-to-all: "each node generates 10 new packets and every other node
+//     in the network is interested in receiving each packet", with Poisson
+//     arrivals (Table 1: packet arrival rate 1/ms).
+//   - Cluster-based hierarchical: cluster heads collect data ("request the
+//     data if they need it"); other nodes in the source's zone are
+//     interested with 5 % probability.
+//
+// A Generator pre-draws every origination time and interest set from a
+// seeded RNG, so a workload is a deterministic value that can be replayed
+// against SPIN, SPMS, and flooding for a like-for-like comparison.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dissem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// DefaultPacketsPerNode is §5.1's per-node generation count.
+const DefaultPacketsPerNode = 10
+
+// DefaultMeanArrival is Table 1's packet arrival rate: Poisson at 1/ms.
+const DefaultMeanArrival = time.Millisecond
+
+// DefaultClusterInterestProb is §5.2's bystander interest probability.
+const DefaultClusterInterestProb = 0.05
+
+// retryDelay is how long a failed origination (origin transiently down)
+// waits before retrying.
+const retryDelay = 10 * time.Millisecond
+
+// maxOriginateRetries bounds origination retries against a down node.
+const maxOriginateRetries = 5
+
+// event is one scheduled data origination.
+type event struct {
+	at   time.Duration
+	data packet.DataID
+}
+
+// Generator is a pre-drawn traffic pattern plus its interest relation.
+type Generator struct {
+	n        int
+	events   []event
+	interest map[packet.DataID]map[packet.NodeID]bool // nil ⇒ all-to-all
+	horizon  time.Duration
+
+	// SkippedOriginations counts items abandoned because the origin stayed
+	// down through every retry. Populated during Schedule's run.
+	skipped int
+}
+
+// AllToAll builds the §5.1 workload for n nodes: packetsPerNode items per
+// node, per-node Poisson arrivals with the given mean inter-arrival time.
+func AllToAll(n, packetsPerNode int, meanArrival time.Duration, rng *sim.RNG) (*Generator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: non-positive node count %d", n)
+	}
+	if packetsPerNode <= 0 {
+		return nil, fmt.Errorf("workload: non-positive packets per node %d", packetsPerNode)
+	}
+	if meanArrival <= 0 {
+		return nil, fmt.Errorf("workload: non-positive mean arrival %v", meanArrival)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	g := &Generator{n: n}
+	for node := 0; node < n; node++ {
+		var t time.Duration
+		for seq := 0; seq < packetsPerNode; seq++ {
+			t += rng.ExpDuration(meanArrival)
+			g.events = append(g.events, event{
+				at:   t,
+				data: packet.DataID{Origin: packet.NodeID(node), Seq: seq},
+			})
+		}
+	}
+	g.finish()
+	return g, nil
+}
+
+// Clustered builds the §5.2 workload over a concrete field: one cluster
+// head per cell of side equal to the zone radius; for every data item the
+// interested set is the origin's cluster head plus each zone neighbor of
+// the origin independently with probability prob.
+func Clustered(f *topo.Field, packetsPerNode int, meanArrival time.Duration, prob float64, rng *sim.RNG) (*Generator, error) {
+	if f == nil {
+		return nil, fmt.Errorf("workload: nil field")
+	}
+	if packetsPerNode <= 0 {
+		return nil, fmt.Errorf("workload: non-positive packets per node %d", packetsPerNode)
+	}
+	if meanArrival <= 0 {
+		return nil, fmt.Errorf("workload: non-positive mean arrival %v", meanArrival)
+	}
+	if prob < 0 || prob > 1 {
+		return nil, fmt.Errorf("workload: interest probability %v outside [0,1]", prob)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	heads := ClusterHeads(f)
+	g := &Generator{
+		n:        f.N(),
+		interest: make(map[packet.DataID]map[packet.NodeID]bool),
+	}
+	for node := 0; node < f.N(); node++ {
+		id := packet.NodeID(node)
+		var t time.Duration
+		for seq := 0; seq < packetsPerNode; seq++ {
+			t += rng.ExpDuration(meanArrival)
+			d := packet.DataID{Origin: id, Seq: seq}
+			g.events = append(g.events, event{at: t, data: d})
+
+			set := make(map[packet.NodeID]bool)
+			if h, ok := heads[id]; ok && h != id {
+				set[h] = true
+			}
+			for _, nb := range f.ZoneNeighbors(id) {
+				if set[nb] {
+					continue
+				}
+				if rng.Bool(prob) {
+					set[nb] = true
+				}
+			}
+			g.interest[d] = set
+		}
+	}
+	g.finish()
+	return g, nil
+}
+
+// finish orders events by time (stable on origin/seq for determinism) and
+// computes the horizon.
+func (g *Generator) finish() {
+	sort.SliceStable(g.events, func(i, j int) bool { return g.events[i].at < g.events[j].at })
+	if len(g.events) > 0 {
+		g.horizon = g.events[len(g.events)-1].at
+	}
+}
+
+// ClusterHeads partitions the field into square cells with side equal to
+// the radio's maximum range and elects, per cell, the node nearest the cell
+// center. The returned map gives every node its cluster head.
+func ClusterHeads(f *topo.Field) map[packet.NodeID]packet.NodeID {
+	cell := f.Model().MaxRange()
+	if cell <= 0 {
+		return nil
+	}
+	bounds := f.Bounds()
+	type cellKey struct{ cx, cy int }
+	members := make(map[cellKey][]packet.NodeID)
+	keyOf := func(id packet.NodeID) cellKey {
+		p := f.Pos(id)
+		return cellKey{
+			cx: int((p.X - bounds.Min.X) / cell),
+			cy: int((p.Y - bounds.Min.Y) / cell),
+		}
+	}
+	for i := 0; i < f.N(); i++ {
+		id := packet.NodeID(i)
+		k := keyOf(id)
+		members[k] = append(members[k], id)
+	}
+	heads := make(map[packet.NodeID]packet.NodeID, f.N())
+	for k, ids := range members {
+		centerX := bounds.Min.X + (float64(k.cx)+0.5)*cell
+		centerY := bounds.Min.Y + (float64(k.cy)+0.5)*cell
+		best := ids[0]
+		bestD := -1.0
+		for _, id := range ids {
+			p := f.Pos(id)
+			dx, dy := p.X-centerX, p.Y-centerY
+			d := dx*dx + dy*dy
+			if bestD < 0 || d < bestD || (d == bestD && id < best) {
+				best, bestD = id, d
+			}
+		}
+		for _, id := range ids {
+			heads[id] = best
+		}
+	}
+	return heads
+}
+
+// Interest returns the workload's interest predicate.
+func (g *Generator) Interest() dissem.Interest {
+	if g.interest == nil {
+		return dissem.Everyone
+	}
+	return func(node packet.NodeID, d packet.DataID) bool {
+		return g.interest[d][node]
+	}
+}
+
+// Items returns the number of data items the workload originates.
+func (g *Generator) Items() int { return len(g.events) }
+
+// Horizon returns the time of the last origination.
+func (g *Generator) Horizon() time.Duration { return g.horizon }
+
+// ExpectedDeliveries returns how many (node, data) deliveries a lossless
+// run would produce.
+func (g *Generator) ExpectedDeliveries() int {
+	if g.interest == nil {
+		return len(g.events) * (g.n - 1)
+	}
+	total := 0
+	for _, set := range g.interest {
+		total += len(set)
+	}
+	return total
+}
+
+// Skipped returns how many originations were abandoned because the origin
+// node stayed failed through all retries.
+func (g *Generator) Skipped() int { return g.skipped }
+
+// Schedule registers every origination with the scheduler, driving the
+// given protocol. An origination that fails because the origin is down is
+// retried a bounded number of times (transient failures repair in ~10 ms).
+func (g *Generator) Schedule(sched *sim.Scheduler, p dissem.Protocol) {
+	if sched == nil || p == nil {
+		panic("workload: Schedule with nil scheduler or protocol")
+	}
+	for _, ev := range g.events {
+		ev := ev
+		var attempt func(retries int)
+		attempt = func(retries int) {
+			err := p.Originate(ev.data.Origin, ev.data)
+			if err == nil {
+				return
+			}
+			if retries >= maxOriginateRetries {
+				g.skipped++
+				return
+			}
+			sched.After(retryDelay, func() { attempt(retries + 1) })
+		}
+		sched.At(ev.at, func() { attempt(0) })
+	}
+}
