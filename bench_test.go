@@ -11,6 +11,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -67,6 +69,8 @@ func BenchmarkFig5AnalyticEnergyRatio(b *testing.B) {
 	b.ReportMetric(last, "ratio_at_k30")
 }
 
+// benchFigure regenerates one figure per iteration through the parallel
+// sweep engine (NewRunner defaults to a worker per core).
 func benchFigure(b *testing.B, run func(*experiment.Runner) (experiment.Table, error), unit string) {
 	b.Helper()
 	var table experiment.Table
@@ -79,6 +83,48 @@ func benchFigure(b *testing.B, run func(*experiment.Runner) (experiment.Table, e
 		table = t
 	}
 	reportLastRow(b, table, unit)
+}
+
+// BenchmarkSweepWorkers measures the sweep engine's scaling on the Figure 8
+// grid: the same scenario batch at pool sizes 1, 2, and one per core. The
+// tables are byte-identical across pool sizes (asserted against serial), so
+// the only difference is wall clock.
+func BenchmarkSweepWorkers(b *testing.B) {
+	serial, err := experiment.NewRunnerWorkers(experiment.Quick(), 1).Figure8()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pools := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range pools {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiment.NewRunnerWorkers(experiment.Quick(), w)
+				t, err := r.Figure8()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if t.Format() != serial.Format() {
+					b.Fatal("parallel table diverged from serial")
+				}
+			}
+		})
+	}
+}
+
+// runSweep executes scenarios through the same parallel sweep engine the
+// figure runners use and returns results in point order.
+func runSweep(b *testing.B, points ...experiment.Scenario) []experiment.Result {
+	b.Helper()
+	res, err := (experiment.Sweep{Points: points}).Execute()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
 }
 
 // BenchmarkFig6EnergyVsNodes regenerates Figure 6 (energy vs node count).
@@ -171,11 +217,7 @@ func BenchmarkAblationRelayADV(b *testing.B) {
 				cfg := core.DefaultConfig()
 				cfg.DisableRelayADV = disabled
 				sc.SPMSConfig = cfg
-				r, err := experiment.Run(sc)
-				if err != nil {
-					b.Fatal(err)
-				}
-				res = r
+				res = runSweep(b, sc)[0]
 			}
 			b.ReportMetric(res.EnergyPerPacket, "uJ_per_pkt")
 			b.ReportMetric(float64(res.MeanDelay)/1e6, "ms_delay")
@@ -193,11 +235,7 @@ func BenchmarkAblationRouteAlternatives(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sc := ablationScenario()
 				sc.RouteAlternatives = k
-				r, err := experiment.Run(sc)
-				if err != nil {
-					b.Fatal(err)
-				}
-				res = r
+				res = runSweep(b, sc)[0]
 			}
 			b.ReportMetric(res.EnergyPerPacket, "uJ_per_pkt")
 			b.ReportMetric(res.DeliveryRate, "delivery_rate")
@@ -220,11 +258,7 @@ func BenchmarkAblationServeFromCache(b *testing.B) {
 				cfg := core.DefaultConfig()
 				cfg.ServeFromCache = on
 				sc.SPMSConfig = cfg
-				r, err := experiment.Run(sc)
-				if err != nil {
-					b.Fatal(err)
-				}
-				res = r
+				res = runSweep(b, sc)[0]
 			}
 			b.ReportMetric(res.EnergyPerPacket, "uJ_per_pkt")
 			b.ReportMetric(float64(res.MeanDelay)/1e6, "ms_delay")
@@ -246,7 +280,7 @@ func BenchmarkAblationCarrierSense(b *testing.B) {
 		b.Run("carrier="+name, func(b *testing.B) {
 			var spmsDelay, spinDelay float64
 			for i := 0; i < b.N; i++ {
-				sc := experiment.Scenario{
+				spmsSC := experiment.Scenario{
 					Protocol:       experiment.SPMS,
 					Workload:       experiment.AllToAll,
 					Nodes:          25,
@@ -256,17 +290,11 @@ func BenchmarkAblationCarrierSense(b *testing.B) {
 					Seed:           1,
 					Drain:          20 * time.Second,
 				}
-				spms, err := experiment.Run(sc)
-				if err != nil {
-					b.Fatal(err)
-				}
-				sc.Protocol = experiment.SPIN
-				spin, err := experiment.Run(sc)
-				if err != nil {
-					b.Fatal(err)
-				}
-				spmsDelay = float64(spms.MeanDelay) / 1e6
-				spinDelay = float64(spin.MeanDelay) / 1e6
+				spinSC := spmsSC
+				spinSC.Protocol = experiment.SPIN
+				res := runSweep(b, spmsSC, spinSC)
+				spmsDelay = float64(res[0].MeanDelay) / 1e6
+				spinDelay = float64(res[1].MeanDelay) / 1e6
 			}
 			b.ReportMetric(spmsDelay, "spms_ms")
 			b.ReportMetric(spinDelay, "spin_ms")

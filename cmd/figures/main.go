@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	figures [-quick] [-csv] [-only fig6,fig8] [-seed N]
+//	figures [-quick] [-csv] [-only fig6,fig8] [-seed N] [-parallel N]
 //
 // Without -only it renders Table 1, Figures 3 and 5 (analytic), Figures
 // 6–13 (simulation), and the §5.1.3 mobility break-even threshold. -quick
 // runs the reduced workload (2 packets/node, smaller sweeps) instead of the
-// paper-scale one.
+// paper-scale one. Simulation sweeps execute on a worker pool, one point
+// per goroutine; -parallel bounds the pool (default all cores). Output is
+// byte-identical at every pool size — scenarios are independent seeded
+// runs reassembled in point order.
 package main
 
 import (
@@ -31,6 +34,7 @@ func run() int {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	only := flag.String("only", "", "comma-separated subset: table1,fig3,fig5,fig6,...,fig13,mobility-threshold")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	q := experiment.Full()
@@ -77,7 +81,7 @@ func run() int {
 		emit(experiment.Figure5())
 	}
 
-	runner := experiment.NewRunner(q)
+	runner := experiment.NewRunnerWorkers(q, *parallel)
 	simFigures := []struct {
 		id  string
 		run func() (experiment.Table, error)

@@ -6,6 +6,7 @@
 // paper's evaluation.
 //
 // Start with README.md for a tour; DESIGN.md maps the paper's systems to
-// packages; EXPERIMENTS.md records paper-vs-measured results. The root
-// package holds only the figure-regeneration benchmarks (bench_test.go).
+// packages and states the concurrency contract (single-threaded schedulers,
+// parallel sweeps). The root package holds only the figure-regeneration
+// benchmarks (bench_test.go).
 package repro

@@ -44,7 +44,7 @@ type queryKey struct {
 type pendingQuery struct {
 	seq      int
 	attempts int
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // Query pulls data across zones (§6 extension): if the requesting node has

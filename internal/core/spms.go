@@ -276,8 +276,8 @@ type acquisition struct {
 	prone packet.NodeID // primary originator node
 	scone packet.NodeID // secondary originator node
 
-	tauADV *sim.Timer
-	tauDAT *sim.Timer
+	tauADV sim.Timer
+	tauDAT sim.Timer
 
 	attempts   int  // REQ transmissions so far
 	lastDirect bool // last REQ was a direct (single-hop) transmission

@@ -123,47 +123,110 @@ func Quick() Quality {
 	}
 }
 
-// Runner executes figure reproductions with a memo: Figures 6/8 and 7/9
-// sweep identical scenarios (they plot energy and delay of the same runs),
-// and the failure figures re-use the failure-free baselines, so caching
-// roughly halves a full report's cost. A Runner is not safe for concurrent
-// use.
+// Runner executes figure reproductions through the parallel sweep engine
+// (see sweep.go) with a memo: Figures 6/8 and 7/9 sweep identical scenarios
+// (they plot energy and delay of the same runs), and the failure figures
+// re-use the failure-free baselines, so caching roughly halves a full
+// report's cost. Each figure runner batches its whole scenario grid into one
+// Sweep, so every point of a figure runs concurrently across the pool while
+// rows are assembled in deterministic point order. A Runner is not safe for
+// concurrent use; the parallelism is inside each call.
 type Runner struct {
-	q     Quality
-	cache map[Scenario]Result
+	q       Quality
+	workers int
+	cache   map[Scenario]Result
 }
 
-// NewRunner builds a memoizing runner at the given quality.
+// NewRunner builds a memoizing runner at the given quality with a worker
+// per core.
 func NewRunner(q Quality) *Runner {
-	return &Runner{q: q, cache: make(map[Scenario]Result)}
+	return NewRunnerWorkers(q, 0)
 }
 
-// run executes (or recalls) one scenario.
-func (r *Runner) run(sc Scenario) (Result, error) {
-	if res, ok := r.cache[sc]; ok {
-		return res, nil
+// NewRunnerWorkers builds a memoizing runner with an explicit sweep pool
+// size; workers <= 0 means one per core. workers == 1 reproduces the serial
+// execution path (the output is byte-identical either way).
+func NewRunnerWorkers(q Quality, workers int) *Runner {
+	return &Runner{q: q, workers: workers, cache: make(map[Scenario]Result)}
+}
+
+// results executes one batch of scenarios: cache hits are recalled, distinct
+// misses run through the sweep pool, and the returned slice matches points
+// index for index.
+func (r *Runner) results(points []Scenario) ([]Result, error) {
+	var missing []Scenario
+	seen := make(map[Scenario]bool)
+	for _, sc := range points {
+		if _, ok := r.cache[sc]; !ok && !seen[sc] {
+			seen[sc] = true
+			missing = append(missing, sc)
+		}
 	}
-	res, err := Run(sc)
-	if err != nil {
-		return Result{}, err
+	if len(missing) > 0 {
+		res, err := (Sweep{Points: missing, Workers: r.workers}).Execute()
+		if err != nil {
+			return nil, err
+		}
+		for i, sc := range missing {
+			r.cache[sc] = res[i]
+		}
 	}
-	r.cache[sc] = res
-	return res, nil
+	out := make([]Result, len(points))
+	for i, sc := range points {
+		out[i] = r.cache[sc]
+	}
+	return out, nil
+}
+
+// pairPoints expands a base scenario into its SPMS and SPIN variants.
+func pairPoints(base Scenario) []Scenario {
+	spms, spin := base, base
+	spms.Protocol = SPMS
+	spin.Protocol = SPIN
+	return []Scenario{spms, spin}
 }
 
 // pair executes the scenario under SPMS and SPIN.
 func (r *Runner) pair(base Scenario) (spms, spin Result, err error) {
-	base.Protocol = SPMS
-	spms, err = r.run(base)
+	res, err := r.results(pairPoints(base))
 	if err != nil {
-		return Result{}, Result{}, fmt.Errorf("SPMS run: %w", err)
+		return Result{}, Result{}, err
 	}
-	base.Protocol = SPIN
-	spin, err = r.run(base)
+	return res[0], res[1], nil
+}
+
+// sweepTable is the shared figure harness: it expands every x-axis sample
+// into its scenario group, executes the whole grid as one parallel batch,
+// and assembles one row per sample from that row's results.
+func (r *Runner) sweepTable(t Table, xs []float64,
+	group func(x float64) []Scenario,
+	cells func(res []Result) []float64) (Table, error) {
+	var points []Scenario
+	counts := make([]int, len(xs))
+	for i, x := range xs {
+		g := group(x)
+		counts[i] = len(g)
+		points = append(points, g...)
+	}
+	res, err := r.results(points)
 	if err != nil {
-		return Result{}, Result{}, fmt.Errorf("SPIN run: %w", err)
+		return Table{}, fmt.Errorf("%s: %w", t.ID, err)
 	}
-	return spms, spin, nil
+	off := 0
+	for i, x := range xs {
+		t.Rows = append(t.Rows, TableRow{X: x, Cells: cells(res[off : off+counts[i]])})
+		off += counts[i]
+	}
+	return t, nil
+}
+
+// nodeAxis converts the quality's node counts to an x-axis.
+func nodeAxis(q Quality) []float64 {
+	xs := make([]float64, len(q.NodeCounts))
+	for i, n := range q.NodeCounts {
+		xs[i] = float64(n)
+	}
+	return xs
 }
 
 // Table1 returns the simulation parameters as a rendered table, verifying
@@ -247,6 +310,15 @@ func baseScenario(q Quality, nodes int, radius float64) Scenario {
 	}
 }
 
+// pairEnergy and pairDelay map a (SPMS, SPIN) result pair to row cells.
+func pairEnergy(res []Result) []float64 {
+	return []float64{res[0].EnergyPerPacket, res[1].EnergyPerPacket}
+}
+
+func pairDelay(res []Result) []float64 {
+	return []float64{ms(res[0].MeanDelay), ms(res[1].MeanDelay)}
+}
+
 // Figure6 — energy per packet vs number of nodes, static failure-free
 // all-to-all, transmission radius 20 m. Paper: SPMS saves 26–43 %.
 func (r *Runner) Figure6() (Table, error) {
@@ -257,14 +329,9 @@ func (r *Runner) Figure6() (Table, error) {
 		YLabel:  "energy per packet (µJ)",
 		Columns: []string{"SPMS", "SPIN"},
 	}
-	for _, n := range r.q.NodeCounts {
-		spms, spin, err := r.pair(baseScenario(r.q, n, 20))
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, TableRow{X: float64(n), Cells: []float64{spms.EnergyPerPacket, spin.EnergyPerPacket}})
-	}
-	return t, nil
+	return r.sweepTable(t, nodeAxis(r.q), func(x float64) []Scenario {
+		return pairPoints(baseScenario(r.q, int(x), 20))
+	}, pairEnergy)
 }
 
 // Figure7 — energy per packet vs transmission radius, 169 nodes.
@@ -277,14 +344,9 @@ func (r *Runner) Figure7() (Table, error) {
 		Columns: []string{"SPMS", "SPIN"},
 	}
 	nodes := figureRadiusNodes(r.q)
-	for _, rad := range r.q.Radii {
-		spms, spin, err := r.pair(baseScenario(r.q, nodes, rad))
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, TableRow{X: rad, Cells: []float64{spms.EnergyPerPacket, spin.EnergyPerPacket}})
-	}
-	return t, nil
+	return r.sweepTable(t, r.q.Radii, func(x float64) []Scenario {
+		return pairPoints(baseScenario(r.q, nodes, x))
+	}, pairEnergy)
 }
 
 // figureRadiusNodes returns the node count for the radius sweeps: the
@@ -312,14 +374,9 @@ func (r *Runner) Figure8() (Table, error) {
 		YLabel:  "delay (ms/packet)",
 		Columns: []string{"SPMS", "SPIN"},
 	}
-	for _, n := range r.q.NodeCounts {
-		spms, spin, err := r.pair(baseScenario(r.q, n, 20))
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, TableRow{X: float64(n), Cells: []float64{ms(spms.MeanDelay), ms(spin.MeanDelay)}})
-	}
-	return t, nil
+	return r.sweepTable(t, nodeAxis(r.q), func(x float64) []Scenario {
+		return pairPoints(baseScenario(r.q, int(x), 20))
+	}, pairDelay)
 }
 
 // Figure9 — mean end-to-end delay vs transmission radius (169 nodes).
@@ -332,14 +389,9 @@ func (r *Runner) Figure9() (Table, error) {
 		Columns: []string{"SPMS", "SPIN"},
 	}
 	nodes := figureRadiusNodes(r.q)
-	for _, rad := range r.q.Radii {
-		spms, spin, err := r.pair(baseScenario(r.q, nodes, rad))
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, TableRow{X: rad, Cells: []float64{ms(spms.MeanDelay), ms(spin.MeanDelay)}})
-	}
-	return t, nil
+	return r.sweepTable(t, r.q.Radii, func(x float64) []Scenario {
+		return pairPoints(baseScenario(r.q, nodes, x))
+	}, pairDelay)
 }
 
 // Figure10 — delay vs number of nodes under transient failures: the paper
@@ -352,22 +404,23 @@ func (r *Runner) Figure10() (Table, error) {
 		YLabel:  "delay (ms/packet)",
 		Columns: []string{"SPMS", "F-SPMS", "SPIN", "F-SPIN"},
 	}
-	for _, n := range r.q.NodeCounts {
-		spms, spin, err := r.pair(baseScenario(r.q, n, 20))
-		if err != nil {
-			return Table{}, err
-		}
-		failing := baseScenario(r.q, n, 20)
-		failing.Failures = true
-		fspms, fspin, err := r.pair(failing)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, TableRow{X: float64(n), Cells: []float64{
-			ms(spms.MeanDelay), ms(fspms.MeanDelay), ms(spin.MeanDelay), ms(fspin.MeanDelay),
-		}})
-	}
-	return t, nil
+	return r.sweepTable(t, nodeAxis(r.q), func(x float64) []Scenario {
+		return failurePoints(baseScenario(r.q, int(x), 20))
+	}, failureDelay)
+}
+
+// failurePoints expands a base scenario into the failure figures' four
+// runs: (SPMS, SPIN) failure-free plus (F-SPMS, F-SPIN) with injection.
+func failurePoints(base Scenario) []Scenario {
+	failing := base
+	failing.Failures = true
+	return append(pairPoints(base), pairPoints(failing)...)
+}
+
+// failureDelay maps failurePoints results to the paper's column order
+// (SPMS, F-SPMS, SPIN, F-SPIN).
+func failureDelay(res []Result) []float64 {
+	return []float64{ms(res[0].MeanDelay), ms(res[2].MeanDelay), ms(res[1].MeanDelay), ms(res[3].MeanDelay)}
 }
 
 // Figure11 — delay vs transmission radius under transient failures.
@@ -380,22 +433,9 @@ func (r *Runner) Figure11() (Table, error) {
 		Columns: []string{"SPMS", "F-SPMS", "SPIN", "F-SPIN"},
 	}
 	nodes := figureRadiusNodes(r.q)
-	for _, rad := range r.q.Radii {
-		spms, spin, err := r.pair(baseScenario(r.q, nodes, rad))
-		if err != nil {
-			return Table{}, err
-		}
-		failing := baseScenario(r.q, nodes, rad)
-		failing.Failures = true
-		fspms, fspin, err := r.pair(failing)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, TableRow{X: rad, Cells: []float64{
-			ms(spms.MeanDelay), ms(fspms.MeanDelay), ms(spin.MeanDelay), ms(fspin.MeanDelay),
-		}})
-	}
-	return t, nil
+	return r.sweepTable(t, r.q.Radii, func(x float64) []Scenario {
+		return failurePoints(baseScenario(r.q, nodes, x))
+	}, failureDelay)
 }
 
 // Figure12 — energy vs transmission radius with mobile nodes (all-to-all).
@@ -411,8 +451,8 @@ func (r *Runner) Figure12() (Table, error) {
 		Notes:   "SPMS includes DBF re-convergence energy; mobility frequency set for ≈300 packets/event (above the §5.1.3 break-even)",
 	}
 	nodes := figureRadiusNodes(r.q)
-	for _, rad := range r.q.Radii {
-		sc := baseScenario(r.q, nodes, rad)
+	return r.sweepTable(t, r.q.Radii, func(x float64) []Scenario {
+		sc := baseScenario(r.q, nodes, x)
 		sc.Mobility = true
 		// Pace mobility so roughly 300 packets flow between events — the
 		// paper's operating regime (its break-even is 239.18 packets/event).
@@ -422,13 +462,8 @@ func (r *Runner) Figure12() (Table, error) {
 			events = 1
 		}
 		sc.MobilityPeriod = 500 * time.Millisecond / time.Duration(events)
-		spms, spin, err := r.pair(sc)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, TableRow{X: rad, Cells: []float64{spms.EnergyPerPacket, spin.EnergyPerPacket}})
-	}
-	return t, nil
+		return pairPoints(sc)
+	}, pairEnergy)
 }
 
 // Figure13 — energy vs transmission radius for cluster-based hierarchical
@@ -443,25 +478,17 @@ func (r *Runner) Figure13() (Table, error) {
 		Columns: []string{"SPMS", "SPIN", "F-SPMS", "F-SPIN"},
 	}
 	nodes := figureRadiusNodes(r.q)
-	for _, rad := range r.q.Radii {
-		sc := baseScenario(r.q, nodes, rad)
+	return r.sweepTable(t, r.q.Radii, func(x float64) []Scenario {
+		sc := baseScenario(r.q, nodes, x)
 		sc.Workload = Clustered
-		spms, spin, err := r.pair(sc)
-		if err != nil {
-			return Table{}, err
+		return failurePoints(sc)
+	}, func(res []Result) []float64 {
+		// Column order here is (SPMS, SPIN, F-SPMS, F-SPIN).
+		return []float64{
+			res[0].EnergyPerPacket, res[1].EnergyPerPacket,
+			res[2].EnergyPerPacket, res[3].EnergyPerPacket,
 		}
-		failing := sc
-		failing.Failures = true
-		fspms, fspin, err := r.pair(failing)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, TableRow{X: rad, Cells: []float64{
-			spms.EnergyPerPacket, spin.EnergyPerPacket,
-			fspms.EnergyPerPacket, fspin.EnergyPerPacket,
-		}})
-	}
-	return t, nil
+	})
 }
 
 // MobilityThreshold recomputes §5.1.3's break-even packet count from
@@ -470,19 +497,17 @@ func (r *Runner) Figure13() (Table, error) {
 // scale. The paper's calibration yields 239.18 packets.
 func (r *Runner) MobilityThreshold() (breakEven float64, dbfEnergy float64, err error) {
 	nodes := figureRadiusNodes(r.q)
-	spms, spin, err := r.pair(baseScenario(r.q, nodes, 20))
+	// One batch: the failure-free pair plus an SPMS mobility run whose
+	// control-energy share measures one event's convergence cost.
+	mob := baseScenario(r.q, nodes, 20)
+	mob.Mobility = true
+	mob.Protocol = SPMS
+	points := append(pairPoints(baseScenario(r.q, nodes, 20)), mob)
+	res, err := r.results(points)
 	if err != nil {
 		return 0, 0, err
 	}
-	// One mobility event's convergence cost, measured via a mobility run's
-	// control-energy share.
-	sc := baseScenario(r.q, nodes, 20)
-	sc.Mobility = true
-	sc.Protocol = SPMS
-	mres, err := r.run(sc)
-	if err != nil {
-		return 0, 0, err
-	}
+	spms, spin, mres := res[0], res[1], res[2]
 	if mres.MobilityEvents > 0 {
 		dbfEnergy = mres.CtrlEnergy / float64(mres.MobilityEvents)
 	}

@@ -1,0 +1,99 @@
+// sweep.go is the parallel execution engine behind every figure runner:
+// a declarative scenario grid executed by a bounded worker pool. Scenarios
+// are independent, fully seeded simulations — each worker goroutine builds
+// its own Scheduler — so parallel execution is deterministic: results are
+// reassembled in point order and are byte-identical to a serial run.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep is a declarative parallel scenario sweep: the points to execute and
+// the function that executes one of them.
+type Sweep struct {
+	// Points are the scenarios to run. Order is the result order.
+	Points []Scenario
+
+	// Run executes one point. Nil means the package-level Run. It must be
+	// safe to call concurrently (Run is: every call builds a private
+	// scheduler, field, and RNG tree).
+	Run func(Scenario) (Result, error)
+
+	// Workers bounds the pool. Zero or negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Execute runs every point through the worker pool and returns results in
+// point order. On failure it returns the error of the lowest-indexed failing
+// point — the same error a serial sweep would surface first — wrapped with
+// that point's position and protocol.
+func (s Sweep) Execute() ([]Result, error) {
+	run := s.Run
+	if run == nil {
+		run = Run
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.Points) {
+		workers = len(s.Points)
+	}
+	results := make([]Result, len(s.Points))
+
+	if workers <= 1 {
+		for i, p := range s.Points {
+			r, err := run(p)
+			if err != nil {
+				return nil, fmt.Errorf("sweep point %d (%v): %w", i, p.Protocol, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64 // next unclaimed point index
+		failed atomic.Bool  // stop claiming new points after any failure
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.Points) {
+					return
+				}
+				r, err := run(s.Points[i])
+				if err != nil {
+					// Points are claimed in ascending order, so every point
+					// below i is finished or in flight when we set failed:
+					// the lowest failing index still wins, as serial would.
+					failed.Store(true)
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx = i
+						first = fmt.Errorf("sweep point %d (%v): %w", i, s.Points[i].Protocol, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}

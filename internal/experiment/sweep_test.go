@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSweepOrderAndWorkers checks that Execute returns results in point
+// order for any pool size, using a stub Run that tags each result.
+func TestSweepOrderAndWorkers(t *testing.T) {
+	points := make([]Scenario, 37)
+	for i := range points {
+		points[i] = Scenario{Nodes: i + 1} // distinct, identifiable
+	}
+	stub := func(sc Scenario) (Result, error) {
+		return Result{Items: sc.Nodes}, nil
+	}
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		res, err := (Sweep{Points: points, Run: stub, Workers: workers}).Execute()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != len(points) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res), len(points))
+		}
+		for i, r := range res {
+			if r.Items != i+1 {
+				t.Fatalf("workers=%d: result %d out of order: %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+// TestSweepEmpty checks the empty sweep is a no-op, not a hang or panic.
+func TestSweepEmpty(t *testing.T) {
+	res, err := (Sweep{}).Execute()
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty sweep: res=%v err=%v", res, err)
+	}
+}
+
+// TestSweepFirstErrorWins checks that the reported error is the
+// lowest-indexed failing point regardless of completion order, matching
+// what a serial sweep surfaces first.
+func TestSweepFirstErrorWins(t *testing.T) {
+	points := make([]Scenario, 16)
+	for i := range points {
+		points[i] = Scenario{Nodes: i + 1}
+	}
+	boom := errors.New("boom")
+	stub := func(sc Scenario) (Result, error) {
+		if sc.Nodes >= 5 { // points 4.. all fail
+			return Result{}, fmt.Errorf("n=%d: %w", sc.Nodes, boom)
+		}
+		return Result{}, nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := (Sweep{Points: points, Run: stub, Workers: workers}).Execute()
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err=%v, want wrapped boom", workers, err)
+		}
+		if !strings.Contains(err.Error(), "point 4") {
+			t.Fatalf("workers=%d: err=%v, want the lowest failing point (4)", workers, err)
+		}
+	}
+}
+
+// TestSweepRealScenarioValidation checks the default Run path propagates
+// scenario validation errors through the pool.
+func TestSweepRealScenarioValidation(t *testing.T) {
+	_, err := (Sweep{Points: []Scenario{{}}, Workers: 4}).Execute()
+	if err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+// TestSweepParallelDeterminism is the tentpole's contract: Figure8-class
+// sweeps produce byte-identical tables at workers=1 and workers=8. Figure10
+// adds failure injection and Figure13 the clustered workload, so the
+// comparison covers every scenario dimension the figures exercise.
+func TestSweepParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	serial := NewRunnerWorkers(tiny(), 1)
+	parallel := NewRunnerWorkers(tiny(), 8)
+	figures := []struct {
+		name string
+		run  func(*Runner) (Table, error)
+	}{
+		{"fig8", (*Runner).Figure8},
+		{"fig10", (*Runner).Figure10},
+		{"fig13", (*Runner).Figure13},
+	}
+	for _, f := range figures {
+		t.Run(f.name, func(t *testing.T) {
+			a, err := f.run(serial)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			b, err := f.run(parallel)
+			if err != nil {
+				t.Fatalf("workers=8: %v", err)
+			}
+			if a.Format() != b.Format() {
+				t.Fatalf("parallel table diverged from serial:\n--- workers=1\n%s\n--- workers=8\n%s", a.Format(), b.Format())
+			}
+			if a.CSV() != b.CSV() {
+				t.Fatal("parallel CSV diverged from serial")
+			}
+		})
+	}
+}

@@ -6,10 +6,15 @@
 // start of the simulation. Two events scheduled for the same instant fire in
 // the order they were scheduled, which — combined with a seeded RNG — makes
 // every run bit-for-bit reproducible.
+//
+// Internally the pending set is a 4-ary min-heap of indices into a pooled
+// event arena: scheduling reuses arena slots through a free list, so the
+// steady-state hot path (schedule → dispatch → recycle) performs no heap
+// allocation. A Scheduler is single-threaded by design (see DESIGN.md §5.1);
+// parallelism lives above the kernel, one Scheduler per goroutine.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -23,83 +28,58 @@ var ErrStopped = errors.New("sim: stopped")
 // event's timestamp.
 type Handler func()
 
-// event is a scheduled handler. seq breaks ties between events at the same
-// virtual instant so dispatch order is deterministic.
+// event is one arena slot. seq breaks ties between events at the same
+// virtual instant so dispatch order is deterministic; it is also the
+// event's identity — unique over the scheduler's whole lifetime — so a
+// Timer holding the seq it was issued under can never alias the slot's
+// next occupant, even after arbitrarily many reuses. pos is the slot's
+// current position in the heap, -1 while free.
 type event struct {
-	at       time.Duration
-	seq      uint64
-	fn       Handler
-	canceled bool
-	index    int // heap index, maintained by eventQueue
-}
-
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic(fmt.Sprintf("sim: eventQueue.Push: unexpected type %T", x))
-	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	at  time.Duration
+	seq uint64
+	fn  Handler
+	pos int32
 }
 
 // Timer is a handle to a scheduled event. The zero value is an inert timer:
-// Cancel and Active are safe to call and do nothing.
+// Cancel and Active are safe to call and do nothing. Timers are small value
+// handles (they do not pin the event's memory) and may be copied freely.
 type Timer struct {
-	ev *event
+	s   *Scheduler
+	idx int32
+	seq uint64
+	at  time.Duration
 }
 
-// Cancel prevents the timer's handler from running. Canceling an already
-// fired or already canceled timer is a no-op. It reports whether the call
-// actually canceled a pending event.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+// live reports whether the handle still names a pending event: the slot is
+// occupied and holds the exact event this handle was issued for.
+func (t Timer) live() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.canceled = true
+	ev := &t.s.arena[t.idx]
+	return ev.pos >= 0 && ev.seq == t.seq
+}
+
+// Cancel prevents the timer's handler from running and removes the event
+// from the pending set immediately. Canceling an already fired or already
+// canceled timer is a no-op. It reports whether the call actually canceled
+// a pending event.
+func (t Timer) Cancel() bool {
+	if !t.live() {
+		return false
+	}
+	t.s.heapRemove(t.s.arena[t.idx].pos)
+	t.s.release(t.idx)
 	return true
 }
 
 // Active reports whether the timer is still pending: scheduled, not yet
 // fired, and not canceled.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
-}
+func (t Timer) Active() bool { return t.live() }
 
 // At returns the virtual time the timer is (or was) scheduled to fire.
-func (t *Timer) At() time.Duration {
-	if t == nil || t.ev == nil {
-		return 0
-	}
-	return t.ev.at
-}
+func (t Timer) At() time.Duration { return t.at }
 
 // Scheduler owns the virtual clock and the pending event set. The zero value
 // is ready to use. Scheduler is not safe for concurrent use: the simulation
@@ -107,7 +87,9 @@ func (t *Timer) At() time.Duration {
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventQueue
+	arena   []event // pooled event storage; slots are recycled via free
+	free    []int32 // free-list of arena slots
+	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
 	stopped bool
 
 	// dispatched counts events that have fired, for observability and as a
@@ -123,41 +105,136 @@ func NewScheduler() *Scheduler {
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
-// Len returns the number of pending (non-canceled) events. Canceled events
-// still occupy queue slots until popped, so this walks the queue; it is
-// intended for tests and diagnostics, not hot paths.
-func (s *Scheduler) Len() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending events in O(1). Canceled events are
+// removed from the heap eagerly, so the heap length is the live count.
+func (s *Scheduler) Len() int { return len(s.heap) }
 
 // Dispatched returns the total number of events that have fired.
 func (s *Scheduler) Dispatched() uint64 { return s.dispatched }
 
+// alloc takes a slot from the free list, growing the arena only when the
+// pool is exhausted.
+func (s *Scheduler) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	s.arena = append(s.arena, event{pos: -1})
+	return int32(len(s.arena) - 1)
+}
+
+// release recycles a slot: clearing pos invalidates outstanding Timers
+// (their seq check closes the reuse race), and dropping fn releases the
+// handler closure to the GC.
+func (s *Scheduler) release(idx int32) {
+	ev := &s.arena[idx]
+	ev.fn = nil
+	ev.pos = -1
+	s.free = append(s.free, idx)
+}
+
+// less orders arena slots by (at, seq); seq is unique, so the order is
+// total and dispatch is deterministic.
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.arena[a], &s.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// heapPush appends the slot and sifts it up.
+func (s *Scheduler) heapPush(idx int32) {
+	s.arena[idx].pos = int32(len(s.heap))
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// heapRemove deletes the entry at heap position i (eager cancel and pop
+// share this): the last entry fills the hole and is sifted to its place.
+func (s *Scheduler) heapRemove(i int32) {
+	last := len(s.heap) - 1
+	moved := s.heap[last]
+	s.heap = s.heap[:last]
+	if int(i) == last {
+		return
+	}
+	s.heap[i] = moved
+	s.arena[moved].pos = i
+	s.siftDown(int(i))
+	s.siftUp(int(i))
+}
+
+// siftUp restores heap order from position i toward the root.
+func (s *Scheduler) siftUp(i int) {
+	idx := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(idx, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.arena[s.heap[i]].pos = int32(i)
+		i = parent
+	}
+	s.heap[i] = idx
+	s.arena[idx].pos = int32(i)
+}
+
+// siftDown restores heap order from position i toward the leaves.
+func (s *Scheduler) siftDown(i int) {
+	idx := s.heap[i]
+	n := len(s.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(s.heap[c], s.heap[min]) {
+				min = c
+			}
+		}
+		if !s.less(s.heap[min], idx) {
+			break
+		}
+		s.heap[i] = s.heap[min]
+		s.arena[s.heap[i]].pos = int32(i)
+		i = min
+	}
+	s.heap[i] = idx
+	s.arena[idx].pos = int32(i)
+}
+
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
 // past (before Now) panics: it is always a model bug, and silently clamping
 // would mask causality violations.
-func (s *Scheduler) At(at time.Duration, fn Handler) *Timer {
+func (s *Scheduler) At(at time.Duration, fn Handler) Timer {
 	if fn == nil {
 		panic("sim: Scheduler.At: nil handler")
 	}
 	if at < s.now {
 		panic(fmt.Sprintf("sim: Scheduler.At: scheduling at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	idx := s.alloc()
+	ev := &s.arena[idx]
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	s.heapPush(idx)
+	return Timer{s: s, idx: idx, seq: ev.seq, at: at}
 }
 
 // After schedules fn to run d after the current virtual time. A negative d
 // panics, matching At's past-scheduling rule.
-func (s *Scheduler) After(d time.Duration, fn Handler) *Timer {
+func (s *Scheduler) After(d time.Duration, fn Handler) Timer {
 	return s.At(s.now+d, fn)
 }
 
@@ -166,22 +243,21 @@ func (s *Scheduler) After(d time.Duration, fn Handler) *Timer {
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // step pops and dispatches the earliest pending event. It reports whether an
-// event fired.
+// event fired. The slot is recycled before the handler runs, so a handler
+// that schedules may reuse it; the Timer seq check keeps old handles inert.
 func (s *Scheduler) step() bool {
-	for len(s.queue) > 0 {
-		ev, ok := heap.Pop(&s.queue).(*event)
-		if !ok {
-			panic("sim: corrupt event queue")
-		}
-		if ev.canceled {
-			continue
-		}
-		s.now = ev.at
-		s.dispatched++
-		ev.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	idx := s.heap[0]
+	s.heapRemove(0)
+	ev := &s.arena[idx]
+	at, fn := ev.at, ev.fn
+	s.release(idx)
+	s.now = at
+	s.dispatched++
+	fn()
+	return true
 }
 
 // Run dispatches events until the queue is empty or the clock would pass
@@ -225,14 +301,11 @@ func (s *Scheduler) RunUntilIdle(maxEvents uint64) error {
 	}
 }
 
-// peek returns the timestamp of the earliest pending event.
+// peek returns the timestamp of the earliest pending event. Cancellation is
+// eager, so the root is always live.
 func (s *Scheduler) peek() (time.Duration, bool) {
-	for len(s.queue) > 0 {
-		ev := s.queue[0]
-		if !ev.canceled {
-			return ev.at, true
-		}
-		heap.Pop(&s.queue)
+	if len(s.heap) == 0 {
+		return 0, false
 	}
-	return 0, false
+	return s.arena[s.heap[0]].at, true
 }

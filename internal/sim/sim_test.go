@@ -148,9 +148,15 @@ func TestZeroTimerIsInert(t *testing.T) {
 	if timer.At() != 0 {
 		t.Fatal("zero timer At should be 0")
 	}
-	var nilTimer *Timer
-	if nilTimer.Active() || nilTimer.Cancel() {
-		t.Fatal("nil timer should be inert")
+	// Copies of a timer handle are interchangeable with the original.
+	s := NewScheduler()
+	orig := s.At(time.Millisecond, func() {})
+	copied := orig
+	if !copied.Cancel() {
+		t.Fatal("copied handle should cancel the original's event")
+	}
+	if orig.Active() || orig.Cancel() {
+		t.Fatal("original handle should observe the copy's cancel")
 	}
 }
 
@@ -280,6 +286,104 @@ func TestSchedulerOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSchedulerCancelIsEager checks that Cancel removes the event from the
+// pending set immediately and that the heap stays consistent under random
+// interleaved schedules and cancels.
+func TestSchedulerCancelIsEager(t *testing.T) {
+	prop := func(offsets []uint16, cancelMask []bool) bool {
+		if len(offsets) > 256 {
+			offsets = offsets[:256]
+		}
+		s := NewScheduler()
+		timers := make([]Timer, len(offsets))
+		for i, off := range offsets {
+			timers[i] = s.At(time.Duration(off)*time.Microsecond, func() {})
+		}
+		want := len(offsets)
+		for i := range timers {
+			if i < len(cancelMask) && cancelMask[i] {
+				if !timers[i].Cancel() {
+					return false
+				}
+				want--
+				if s.Len() != want {
+					return false // cancel must shrink Len immediately
+				}
+			}
+		}
+		fired := 0
+		prev := time.Duration(-1)
+		for {
+			at, ok := s.peek()
+			if !ok {
+				break
+			}
+			if at < prev {
+				return false // heap order violated after removals
+			}
+			prev = at
+			if !s.step() {
+				return false
+			}
+			fired++
+		}
+		return fired == want && s.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerSteadyStateAllocFree asserts the schedule→dispatch hot path
+// performs no heap allocation once the arena is warm — the regression guard
+// behind the kernel's pooled-arena design (CI runs it explicitly).
+func TestSchedulerSteadyStateAllocFree(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm the arena, free list, and heap slice past the working set.
+	for i := 0; i < 1024; i++ {
+		s.After(time.Microsecond, fn)
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			s.After(time.Microsecond, fn)
+		}
+		if err := s.RunUntilIdle(0); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule→dispatch cycle allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestTimerStaleAfterSlotReuse checks that a fired timer's handle stays
+// inert even after its arena slot is recycled for a new event.
+func TestTimerStaleAfterSlotReuse(t *testing.T) {
+	s := NewScheduler()
+	old := s.At(time.Millisecond, func() {})
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	// The freed slot is reused by the next schedule.
+	fresh := s.At(2*time.Millisecond, func() {})
+	if old.Active() {
+		t.Fatal("stale handle reports active after slot reuse")
+	}
+	if old.Cancel() {
+		t.Fatal("stale handle canceled the slot's new occupant")
+	}
+	if !fresh.Active() {
+		t.Fatal("fresh timer should be active")
+	}
+	if old.At() != time.Millisecond {
+		t.Fatalf("stale handle At()=%v, want its original 1ms", old.At())
 	}
 }
 

@@ -74,7 +74,7 @@ func NewSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Inter
 			id:         packet.NodeID(i),
 			has:        make(map[packet.DataID]bool),
 			advertised: make(map[packet.DataID]bool),
-			pending:    make(map[packet.DataID]*sim.Timer),
+			pending:    make(map[packet.DataID]sim.Timer),
 		}
 		s.nodes[i] = n
 		nw.Bind(n.id, n)
@@ -137,7 +137,7 @@ type node struct {
 	id         packet.NodeID
 	has        map[packet.DataID]bool
 	advertised map[packet.DataID]bool
-	pending    map[packet.DataID]*sim.Timer
+	pending    map[packet.DataID]sim.Timer
 }
 
 var _ network.Receiver = (*node)(nil)
