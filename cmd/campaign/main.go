@@ -1,0 +1,176 @@
+// Command campaign runs declarative experiment campaigns: JSON specs that
+// name a base scenario plus parameter axes (see internal/campaign and
+// DESIGN.md §6). The grid expands deterministically, executes on the
+// parallel sweep engine, and streams every finished point — in point
+// order, byte-identical at any pool size — to JSONL and/or CSV sinks.
+//
+// Usage:
+//
+//	campaign run <spec.json> [-parallel N] [-jsonl PATH] [-csv PATH]
+//	campaign expand <spec.json>
+//	campaign validate <spec.json>
+//
+// `run` streams JSONL to stdout by default; -jsonl/-csv redirect to files
+// ("-" means stdout, at most one sink may claim it). `expand` prints the
+// expanded grid without simulating; `validate` just checks the spec.
+//
+// Examples:
+//
+//	campaign run examples/campaigns/fig8.json -parallel 4
+//	campaign run examples/campaigns/stress-1k.json -jsonl out.jsonl -csv out.csv
+//	campaign expand examples/campaigns/fig8.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage() int {
+	fmt.Fprintf(os.Stderr, `usage:
+  campaign run <spec.json> [-parallel N] [-jsonl PATH] [-csv PATH]
+  campaign expand <spec.json>
+  campaign validate <spec.json>
+`)
+	return 2
+}
+
+func run(args []string) int {
+	if len(args) < 2 || args[1] == "" || args[1][0] == '-' {
+		return usage()
+	}
+	sub, specPath, rest := args[0], args[1], args[2:]
+	switch sub {
+	case "run":
+		return runCampaign(specPath, rest)
+	case "expand":
+		return expandCampaign(specPath, rest)
+	case "validate":
+		return validateCampaign(specPath, rest)
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown subcommand %q\n", sub)
+		return usage()
+	}
+}
+
+// load parses and expands a spec file.
+func load(specPath string) (*campaign.Campaign, int) {
+	spec, err := campaign.LoadSpec(specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return nil, 1
+	}
+	c, err := campaign.Expand(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return nil, 1
+	}
+	return c, 0
+}
+
+func runCampaign(specPath string, args []string) int {
+	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+	jsonlPath := fs.String("jsonl", "-", `JSONL output: "-" for stdout, a path, or "" to disable`)
+	csvPath := fs.String("csv", "", `CSV output: "-" for stdout, a path, or "" to disable`)
+	fs.Parse(args)
+
+	c, code := load(specPath)
+	if code != 0 {
+		return code
+	}
+
+	if *csvPath == "-" && *jsonlPath == "-" {
+		// CSV claims stdout; an explicitly doubled "-" is an error.
+		explicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "jsonl" {
+				explicit = true
+			}
+		})
+		if explicit {
+			fmt.Fprintln(os.Stderr, "campaign: -jsonl and -csv cannot both write to stdout")
+			return 2
+		}
+		*jsonlPath = ""
+	}
+
+	var sinks []campaign.Sink
+	var closers []io.Closer
+	open := func(path string) (io.Writer, error) {
+		if path == "-" {
+			return os.Stdout, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, f)
+		return f, nil
+	}
+	if *jsonlPath != "" {
+		w, err := open(*jsonlPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			return 1
+		}
+		sinks = append(sinks, campaign.NewJSONLSink(w))
+	}
+	if *csvPath != "" {
+		w, err := open(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			return 1
+		}
+		sinks = append(sinks, campaign.NewCSVSink(w))
+	}
+
+	start := time.Now()
+	_, err := c.Run(campaign.RunOptions{Workers: *parallel, Sinks: sinks})
+	for _, cl := range closers {
+		if cerr := cl.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "campaign %q: %d points across %d axes in %v\n",
+		c.Spec.Name, len(c.Points), len(c.AxisNames), time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func expandCampaign(specPath string, args []string) int {
+	fs := flag.NewFlagSet("campaign expand", flag.ExitOnError)
+	fs.Parse(args)
+	c, code := load(specPath)
+	if code != 0 {
+		return code
+	}
+	for _, p := range c.Points {
+		fmt.Printf("%d\t%s\n", p.Index, p.ParamsString())
+	}
+	fmt.Fprintf(os.Stderr, "campaign %q: %d points across %d axes\n", c.Spec.Name, len(c.Points), len(c.AxisNames))
+	return 0
+}
+
+func validateCampaign(specPath string, args []string) int {
+	fs := flag.NewFlagSet("campaign validate", flag.ExitOnError)
+	fs.Parse(args)
+	c, code := load(specPath)
+	if code != 0 {
+		return code
+	}
+	fmt.Printf("ok: campaign %q expands to %d valid points\n", c.Spec.Name, len(c.Points))
+	return 0
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,44 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// emitter is the single -csv-aware output path: every block the command
+// prints — figure tables, Table 1, the mobility threshold — goes through
+// it, so -csv consistently switches the whole report.
+type emitter struct{ csv bool }
+
+// table renders one reproduced figure or table.
+func (e emitter) table(t experiment.Table) {
+	if e.csv {
+		fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+		return
+	}
+	fmt.Println(t.Format())
+}
+
+// kv renders a key/value block: the pre-rendered text verbatim normally,
+// or a `# id — title` header plus CSV rows with -csv. A write error (full
+// disk, closed pipe) is returned so the command exits non-zero instead of
+// passing off a truncated report as complete.
+func (e emitter) kv(id, title, text string, rows [][2]string) error {
+	if !e.csv {
+		fmt.Print(text)
+		return nil
+	}
+	fmt.Printf("# %s — %s\n", id, title)
+	w := csv.NewWriter(os.Stdout)
+	for _, r := range rows {
+		if err := w.Write([]string{r[0], r[1]}); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	fmt.Println()
+	return nil
 }
 
 func run() int {
@@ -62,23 +101,21 @@ func run() int {
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
-
-	emit := func(t experiment.Table) {
-		if *csv {
-			fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
-			return
-		}
-		fmt.Println(t.Format())
-	}
+	emit := emitter{csv: *csv}
 
 	if selected("table1") {
-		fmt.Println(experiment.Table1())
+		err := emit.kv("table1", "Simulation Parameters", experiment.Table1()+"\n",
+			append([][2]string{{"parameter", "value"}}, experiment.Table1Rows()...))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			return 1
+		}
 	}
 	if selected("fig3") {
-		emit(experiment.Figure3())
+		emit.table(experiment.Figure3())
 	}
 	if selected("fig5") {
-		emit(experiment.Figure5())
+		emit.table(experiment.Figure5())
 	}
 
 	runner := experiment.NewRunnerWorkers(q, *parallel)
@@ -104,7 +141,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", f.id, err)
 			return 1
 		}
-		emit(t)
+		emit.table(t)
 	}
 
 	if selected("mobility-threshold") {
@@ -113,9 +150,18 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "figures: mobility-threshold: %v\n", err)
 			return 1
 		}
-		fmt.Printf("## §5.1.3 — Mobility break-even\n")
-		fmt.Printf("DBF re-convergence energy per mobility event: %.2f µJ\n", dbf)
-		fmt.Printf("Packets needed between mobility events for SPMS to win: %.2f (paper: 239.18)\n\n", breakEven)
+		text := fmt.Sprintf("## §5.1.3 — Mobility break-even\n"+
+			"DBF re-convergence energy per mobility event: %.2f µJ\n"+
+			"Packets needed between mobility events for SPMS to win: %.2f (paper: 239.18)\n\n", dbf, breakEven)
+		err = emit.kv("mobility-threshold", "§5.1.3 break-even", text, [][2]string{
+			{"metric", "value"},
+			{"dbf_energy_uJ_per_event", fmt.Sprintf("%g", dbf)},
+			{"break_even_packets", fmt.Sprintf("%g", breakEven)},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

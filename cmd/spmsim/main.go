@@ -1,19 +1,25 @@
 // Command spmsim runs a single SPMS/SPIN/flooding simulation scenario and
-// prints its metrics. It is the exploratory companion to cmd/figures: every
-// knob of the experiment harness is exposed as a flag.
+// prints its metrics. It is the exploratory companion to cmd/figures:
+// every knob of the experiment harness is exposed as a flag, and a full
+// scenario — including the nested SPMS-timer and failure-model configs —
+// can be loaded from a JSON spec with -scenario (the same wire format
+// campaign files use; see internal/campaign). When -scenario is given,
+// explicitly set flags override the file's fields.
 //
 // Examples:
 //
 //	spmsim -protocol spms -nodes 169 -radius 20
 //	spmsim -protocol spin -nodes 100 -radius 15 -failures
-//	spmsim -protocol spms -workload cluster -radius 25 -mobility
+//	spmsim -protocol spms -workload cluster -radius 25 -cluster-interest 0.1
+//	spmsim -mobility -mobility-period 50ms -mobility-fraction 0.1 -radius 20
+//	spmsim -scenario scenario.json -seed 7
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/experiment"
@@ -25,52 +31,110 @@ func main() {
 
 func run() int {
 	var (
-		protoName = flag.String("protocol", "spms", "protocol: spms | spin | flood")
-		wlName    = flag.String("workload", "all-to-all", "workload: all-to-all | cluster")
-		nodes     = flag.Int("nodes", 169, "number of sensor nodes (square grid)")
-		radius    = flag.Float64("radius", 20, "maximum transmission radius in meters (zone radius)")
-		spacing   = flag.Float64("spacing", 5, "grid spacing in meters")
-		packets   = flag.Int("packets", 10, "data items generated per node")
-		failures  = flag.Bool("failures", false, "inject transient node failures (Table 1 parameters)")
-		mobility  = flag.Bool("mobility", false, "relocate 5% of nodes every 100 ms")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		drain     = flag.Duration("drain", 3*time.Second, "extra simulated time after the last origination")
-		altRoutes = flag.Int("routes", 2, "SPMS routing entries per destination")
+		scenarioPath = flag.String("scenario", "", "JSON scenario file to run (explicit flags override its fields)")
+		protoName    = flag.String("protocol", "spms", "protocol: spms | spin | flood")
+		wlName       = flag.String("workload", "all-to-all", "workload: all-to-all | cluster")
+		nodes        = flag.Int("nodes", 169, "number of sensor nodes (square grid)")
+		radius       = flag.Float64("radius", 20, "maximum transmission radius in meters (zone radius)")
+		spacing      = flag.Float64("spacing", 5, "grid spacing in meters")
+		packets      = flag.Int("packets", 10, "data items generated per node")
+		clusterProb  = flag.Float64("cluster-interest", 0.05, "clustered workload: bystander interest probability in [0,1]")
+		failures     = flag.Bool("failures", false, "inject transient node failures (Table 1 parameters)")
+		mobility     = flag.Bool("mobility", false, "relocate nodes periodically (see -mobility-period, -mobility-fraction)")
+		mobPeriod    = flag.Duration("mobility-period", 100*time.Millisecond, "interval between mobility events")
+		mobFraction  = flag.Float64("mobility-fraction", 0.05, "fraction of nodes relocated per mobility event, in [0,1]")
+		carrier      = flag.Bool("carrier-sense", false, "serialize transmissions on a shared channel (MAC ablation)")
+		chargeDBF    = flag.Bool("charge-initial-dbf", false, "charge the initial DBF convergence energy, not just mobility re-runs")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		drain        = flag.Duration("drain", 3*time.Second, "extra simulated time after the last origination")
+		altRoutes    = flag.Int("routes", 2, "SPMS routing entries per destination")
 	)
 	flag.Parse()
 
-	sc := experiment.Scenario{
-		Workload:          experiment.AllToAll,
-		Nodes:             *nodes,
-		GridSpacing:       *spacing,
-		ZoneRadius:        *radius,
-		PacketsPerNode:    *packets,
-		Failures:          *failures,
-		Mobility:          *mobility,
-		Seed:              *seed,
-		Drain:             *drain,
-		RouteAlternatives: *altRoutes,
+	var sc experiment.Scenario
+	fromFile := *scenarioPath != ""
+	if fromFile {
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+			return 1
+		}
+		if err := json.Unmarshal(data, &sc); err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: %s: %v\n", *scenarioPath, err)
+			return 1
+		}
 	}
-	switch strings.ToLower(*protoName) {
-	case "spms":
-		sc.Protocol = experiment.SPMS
-	case "spin":
-		sc.Protocol = experiment.SPIN
-	case "flood":
-		sc.Protocol = experiment.Flooding
-	default:
-		fmt.Fprintf(os.Stderr, "spmsim: unknown protocol %q\n", *protoName)
-		return 2
+
+	// Without -scenario every flag applies (defaults included, the
+	// original behavior); with it, only flags the user actually set
+	// override the file.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	use := func(name string) bool { return !fromFile || set[name] }
+
+	if use("protocol") {
+		p, err := experiment.ParseProtocol(*protoName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+			return 2
+		}
+		sc.Protocol = p
 	}
-	switch strings.ToLower(*wlName) {
-	case "all-to-all", "alltoall":
-		sc.Workload = experiment.AllToAll
-	case "cluster", "clustered":
-		sc.Workload = experiment.Clustered
-	default:
-		fmt.Fprintf(os.Stderr, "spmsim: unknown workload %q\n", *wlName)
-		return 2
+	if use("workload") {
+		w, err := experiment.ParseWorkload(*wlName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+			return 2
+		}
+		sc.Workload = w
 	}
+	if use("nodes") {
+		sc.Nodes = *nodes
+	}
+	if use("radius") {
+		sc.ZoneRadius = *radius
+	}
+	if use("spacing") {
+		sc.GridSpacing = *spacing
+	}
+	if use("packets") {
+		sc.PacketsPerNode = *packets
+	}
+	if use("cluster-interest") {
+		sc.ClusterInterestProb = *clusterProb
+	}
+	if use("failures") {
+		sc.Failures = *failures
+	}
+	if use("mobility") {
+		sc.Mobility = *mobility
+	}
+	if use("mobility-period") {
+		sc.MobilityPeriod = *mobPeriod
+	}
+	if use("mobility-fraction") {
+		sc.MobilityFraction = *mobFraction
+	}
+	if use("carrier-sense") {
+		sc.CarrierSense = *carrier
+	}
+	if use("charge-initial-dbf") {
+		sc.ChargeInitialDBF = *chargeDBF
+	}
+	if use("seed") {
+		sc.Seed = *seed
+	}
+	if use("drain") {
+		sc.Drain = *drain
+	}
+	if use("routes") {
+		sc.RouteAlternatives = *altRoutes
+	}
+
+	// Fill defaults before running so the printed scenario line shows the
+	// values actually simulated (Run would apply them anyway; WithDefaults
+	// is idempotent).
+	sc = sc.WithDefaults()
 
 	start := time.Now()
 	res, err := experiment.Run(sc)
@@ -81,7 +145,7 @@ func run() int {
 	wall := time.Since(start).Round(time.Millisecond)
 
 	fmt.Printf("scenario: %s %s nodes=%d radius=%.1fm packets/node=%d failures=%v mobility=%v seed=%d\n",
-		sc.Protocol, *wlName, *nodes, *radius, *packets, *failures, *mobility, *seed)
+		sc.Protocol, sc.Workload, sc.Nodes, sc.ZoneRadius, sc.PacketsPerNode, sc.Failures, sc.Mobility, sc.Seed)
 	fmt.Printf("wall clock: %v\n\n", wall)
 
 	fmt.Printf("energy:    total=%.2f µJ   per-packet=%.4f µJ   routing-control=%.2f µJ\n",

@@ -1,0 +1,232 @@
+// expand.go turns a Spec into its deterministic point grid: the cartesian
+// product of every non-empty axis, enumerated row-major with the last
+// (canonical-order) axis varying fastest. Every point's scenario is fully
+// defaulted and validated at expansion time, so a bad spec fails before
+// any simulation runs.
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// MaxPoints bounds grid expansion: a spec whose axes multiply out beyond
+// this is almost certainly a typo, and failing fast beats allocating the
+// grid.
+const MaxPoints = 1_000_000
+
+// Param is one axis assignment of a point, in display form.
+type Param struct {
+	Name  string
+	Value string
+}
+
+// Point is one expanded grid point: its stable index, the axis assignments
+// that produced it (canonical order), and the fully-defaulted scenario.
+type Point struct {
+	Index    int
+	Params   []Param
+	Scenario experiment.Scenario
+}
+
+// ParamsString renders the assignments as "name=value name=value".
+func (p Point) ParamsString() string {
+	parts := make([]string, len(p.Params))
+	for i, pr := range p.Params {
+		parts[i] = pr.Name + "=" + pr.Value
+	}
+	return strings.Join(parts, " ")
+}
+
+// Campaign is an expanded spec, ready to run.
+type Campaign struct {
+	Spec      Spec
+	AxisNames []string // non-empty axes, canonical order
+	Points    []Point
+}
+
+// axisValue is one value of one axis: its display label and the scenario
+// mutation it represents.
+type axisValue struct {
+	label string
+	apply func(*experiment.Scenario)
+}
+
+// binding is a non-empty axis with its expanded values.
+type binding struct {
+	name   string
+	values []axisValue
+}
+
+// rejectZero fails axes over fields where a zero value means "use the
+// package default" (Scenario.WithDefaults): the default would silently
+// replace the value after the parameter label is minted, so every emitted
+// record would attribute its result to a parameter that never ran.
+func rejectZero[T comparable](axis string, vs []T) error {
+	var zero T
+	for _, v := range vs {
+		if v == zero {
+			return fmt.Errorf("campaign: axis %s: zero means %q in a Scenario and would be replaced by the default; write the intended value explicitly", axis, "use the default")
+		}
+	}
+	return nil
+}
+
+// bindings expands the spec's axes into canonical order, resolving the
+// seed axis's count form against the base seed.
+func (s Spec) bindings() ([]binding, error) {
+	zeroChecks := []error{
+		rejectZero("gridSpacing", s.Axes.GridSpacing.Values),
+		rejectZero("packetsPerNode", s.Axes.PacketsPerNode.Values),
+		rejectZero("meanArrival", s.Axes.MeanArrival.Values),
+		rejectZero("clusterInterestProb", s.Axes.ClusterInterestProb.Values),
+		rejectZero("mobilityPeriod", s.Axes.MobilityPeriod.Values),
+		rejectZero("mobilityFraction", s.Axes.MobilityFraction.Values),
+		rejectZero("routeAlternatives", s.Axes.RouteAlternatives.Values),
+		rejectZero("drain", s.Axes.Drain.Values),
+	}
+	for _, err := range zeroChecks {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var bs []binding
+	add := func(name string, values []axisValue) {
+		if len(values) > 0 {
+			bs = append(bs, binding{name, values})
+		}
+	}
+
+	var protos []axisValue
+	for _, p := range s.Axes.Protocol {
+		p := p
+		protos = append(protos, axisValue{strings.ToLower(p.String()), func(sc *experiment.Scenario) { sc.Protocol = p }})
+	}
+	add("protocol", protos)
+
+	var wls []axisValue
+	for _, w := range s.Axes.Workload {
+		w := w
+		wls = append(wls, axisValue{w.String(), func(sc *experiment.Scenario) { sc.Workload = w }})
+	}
+	add("workload", wls)
+
+	add("nodes", intValues(s.Axes.Nodes.Values, func(sc *experiment.Scenario, v int) { sc.Nodes = v }))
+	add("gridSpacing", floatValues(s.Axes.GridSpacing.Values, func(sc *experiment.Scenario, v float64) { sc.GridSpacing = v }))
+	add("zoneRadius", floatValues(s.Axes.ZoneRadius.Values, func(sc *experiment.Scenario, v float64) { sc.ZoneRadius = v }))
+	add("packetsPerNode", intValues(s.Axes.PacketsPerNode.Values, func(sc *experiment.Scenario, v int) { sc.PacketsPerNode = v }))
+	add("meanArrival", durationValues(s.Axes.MeanArrival.Values, func(sc *experiment.Scenario, v time.Duration) { sc.MeanArrival = v }))
+	add("clusterInterestProb", floatValues(s.Axes.ClusterInterestProb.Values, func(sc *experiment.Scenario, v float64) { sc.ClusterInterestProb = v }))
+	add("failures", boolValues(s.Axes.Failures, func(sc *experiment.Scenario, v bool) { sc.Failures = v }))
+	add("mobility", boolValues(s.Axes.Mobility, func(sc *experiment.Scenario, v bool) { sc.Mobility = v }))
+	add("mobilityPeriod", durationValues(s.Axes.MobilityPeriod.Values, func(sc *experiment.Scenario, v time.Duration) { sc.MobilityPeriod = v }))
+	add("mobilityFraction", floatValues(s.Axes.MobilityFraction.Values, func(sc *experiment.Scenario, v float64) { sc.MobilityFraction = v }))
+	add("routeAlternatives", intValues(s.Axes.RouteAlternatives.Values, func(sc *experiment.Scenario, v int) { sc.RouteAlternatives = v }))
+	add("carrierSense", boolValues(s.Axes.CarrierSense, func(sc *experiment.Scenario, v bool) { sc.CarrierSense = v }))
+	add("drain", durationValues(s.Axes.Drain.Values, func(sc *experiment.Scenario, v time.Duration) { sc.Drain = v }))
+
+	seeds := s.Axes.Seed.Values
+	if s.Axes.Seed.Count > 0 {
+		seeds = make([]int64, s.Axes.Seed.Count)
+		for i := range seeds {
+			seeds[i] = s.Base.Seed + int64(i)
+		}
+	}
+	var seedVals []axisValue
+	for _, v := range seeds {
+		v := v
+		seedVals = append(seedVals, axisValue{strconv.FormatInt(v, 10), func(sc *experiment.Scenario) { sc.Seed = v }})
+	}
+	add("seed", seedVals)
+
+	return bs, nil
+}
+
+func intValues(vs []int, set func(*experiment.Scenario, int)) []axisValue {
+	out := make([]axisValue, len(vs))
+	for i, v := range vs {
+		v := v
+		out[i] = axisValue{strconv.Itoa(v), func(sc *experiment.Scenario) { set(sc, v) }}
+	}
+	return out
+}
+
+func floatValues(vs []float64, set func(*experiment.Scenario, float64)) []axisValue {
+	out := make([]axisValue, len(vs))
+	for i, v := range vs {
+		v := v
+		out[i] = axisValue{strconv.FormatFloat(v, 'g', -1, 64), func(sc *experiment.Scenario) { set(sc, v) }}
+	}
+	return out
+}
+
+func boolValues(vs []bool, set func(*experiment.Scenario, bool)) []axisValue {
+	out := make([]axisValue, len(vs))
+	for i, v := range vs {
+		v := v
+		out[i] = axisValue{strconv.FormatBool(v), func(sc *experiment.Scenario) { set(sc, v) }}
+	}
+	return out
+}
+
+func durationValues(vs []time.Duration, set func(*experiment.Scenario, time.Duration)) []axisValue {
+	out := make([]axisValue, len(vs))
+	for i, v := range vs {
+		v := v
+		out[i] = axisValue{v.String(), func(sc *experiment.Scenario) { set(sc, v) }}
+	}
+	return out
+}
+
+// Expand materializes the spec's grid. Every returned point is fully
+// defaulted (experiment.Scenario.WithDefaults) and validated.
+func Expand(spec Spec) (*Campaign, error) {
+	bs, err := spec.bindings()
+	if err != nil {
+		return nil, err
+	}
+	total := 1
+	for _, b := range bs {
+		total *= len(b.values)
+		if total > MaxPoints {
+			return nil, fmt.Errorf("campaign %q: grid exceeds %d points", spec.Name, MaxPoints)
+		}
+	}
+
+	c := &Campaign{Spec: spec, Points: make([]Point, 0, total)}
+	for _, b := range bs {
+		c.AxisNames = append(c.AxisNames, b.name)
+	}
+
+	idx := make([]int, len(bs))
+	for i := 0; i < total; i++ {
+		sc := spec.Base
+		params := make([]Param, len(bs))
+		for j, b := range bs {
+			v := b.values[idx[j]]
+			v.apply(&sc)
+			params[j] = Param{b.name, v.label}
+		}
+		sc = sc.WithDefaults()
+		p := Point{Index: i, Params: params, Scenario: sc}
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign %q: point %d (%s): %w", spec.Name, i, p.ParamsString(), err)
+		}
+		c.Points = append(c.Points, p)
+
+		// Odometer step: last axis fastest.
+		for j := len(bs) - 1; j >= 0; j-- {
+			idx[j]++
+			if idx[j] < len(bs[j].values) {
+				break
+			}
+			idx[j] = 0
+		}
+	}
+	return c, nil
+}

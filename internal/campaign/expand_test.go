@@ -1,0 +1,186 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// specFromJSON is the test helper: parse or fail.
+func specFromJSON(t *testing.T, in string) Spec {
+	t.Helper()
+	spec, err := ParseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	return spec
+}
+
+// TestExpandOrderContract pins the grid-expansion order: canonical axis
+// order (protocol before nodes before seed), last axis varying fastest.
+func TestExpandOrderContract(t *testing.T) {
+	spec := specFromJSON(t, `{
+		"name": "order",
+		"base": {"workload": "all-to-all", "zoneRadius": 20, "seed": 1},
+		"axes": {
+			"nodes": [25, 49],
+			"protocol": ["spms", "spin"],
+			"seed": {"count": 2}
+		}
+	}`)
+	c, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if got := strings.Join(c.AxisNames, ","); got != "protocol,nodes,seed" {
+		t.Fatalf("axis order = %s, want canonical protocol,nodes,seed", got)
+	}
+	if len(c.Points) != 8 {
+		t.Fatalf("%d points, want 8", len(c.Points))
+	}
+	want := []string{
+		"protocol=spms nodes=25 seed=1",
+		"protocol=spms nodes=25 seed=2",
+		"protocol=spms nodes=49 seed=1",
+		"protocol=spms nodes=49 seed=2",
+		"protocol=spin nodes=25 seed=1",
+		"protocol=spin nodes=25 seed=2",
+		"protocol=spin nodes=49 seed=1",
+		"protocol=spin nodes=49 seed=2",
+	}
+	for i, p := range c.Points {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+		if got := p.ParamsString(); got != want[i] {
+			t.Fatalf("point %d = %q, want %q", i, got, want[i])
+		}
+	}
+	// Axis assignments reached the scenarios, on top of the shared base.
+	if sc := c.Points[5].Scenario; sc.Protocol != experiment.SPIN || sc.Nodes != 25 || sc.Seed != 2 || sc.ZoneRadius != 20 {
+		t.Fatalf("point 5 scenario: %+v", sc)
+	}
+}
+
+// TestExpandAppliesDefaults checks every expanded scenario is fully
+// defaulted — what Run would execute — so sink tuples are explicit.
+func TestExpandAppliesDefaults(t *testing.T) {
+	spec := specFromJSON(t, `{
+		"name": "defaults",
+		"base": {"protocol": "spms", "workload": "all-to-all", "zoneRadius": 15},
+		"axes": {"nodes": [16]}
+	}`)
+	c, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	sc := c.Points[0].Scenario
+	if sc.PacketsPerNode == 0 || sc.GridSpacing == 0 || sc.Drain == 0 || sc.RouteAlternatives == 0 {
+		t.Fatalf("defaults not applied: %+v", sc)
+	}
+	if sc != sc.WithDefaults() {
+		t.Fatalf("expanded scenario not fixed under WithDefaults: %+v", sc)
+	}
+}
+
+// TestExpandNoAxes checks an axis-free spec is the single base point.
+func TestExpandNoAxes(t *testing.T) {
+	spec := specFromJSON(t, `{
+		"name": "single",
+		"base": {"protocol": "flood", "workload": "all-to-all", "nodes": 25, "zoneRadius": 10}
+	}`)
+	c, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(c.Points) != 1 || len(c.AxisNames) != 0 {
+		t.Fatalf("axis-free spec: %d points, axes %v", len(c.Points), c.AxisNames)
+	}
+	if c.Points[0].Scenario.Protocol != experiment.Flooding {
+		t.Fatalf("base not preserved: %+v", c.Points[0].Scenario)
+	}
+}
+
+// TestExpandValidatesPoints checks a grid containing an invalid point
+// fails at expansion, naming the point.
+func TestExpandValidatesPoints(t *testing.T) {
+	spec := specFromJSON(t, `{
+		"name": "invalid",
+		"base": {"protocol": "spms", "workload": "all-to-all", "zoneRadius": 20},
+		"axes": {"nodes": [25, -1]}
+	}`)
+	_, err := Expand(spec)
+	if err == nil {
+		t.Fatal("expanded a grid with a negative node count")
+	}
+	if !strings.Contains(err.Error(), "nodes=-1") || !strings.Contains(err.Error(), "node count") {
+		t.Fatalf("err = %v, want the offending point named", err)
+	}
+}
+
+// TestExpandSeedCountStartsAtBase checks {"count":N} replication anchors
+// at the base seed.
+func TestExpandSeedCountStartsAtBase(t *testing.T) {
+	spec := specFromJSON(t, `{
+		"name": "seeds",
+		"base": {"protocol": "spms", "workload": "all-to-all", "nodes": 16, "zoneRadius": 15, "seed": 10},
+		"axes": {"seed": {"count": 3}}
+	}`)
+	c, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var seeds []int64
+	for _, p := range c.Points {
+		seeds = append(seeds, p.Scenario.Seed)
+	}
+	if len(seeds) != 3 || seeds[0] != 10 || seeds[1] != 11 || seeds[2] != 12 {
+		t.Fatalf("seeds = %v, want [10 11 12]", seeds)
+	}
+}
+
+// TestExpandRejectsZeroDefaultedAxisValues checks a zero axis value for a
+// field WithDefaults fills is refused: the default would replace it after
+// the parameter label was minted, so sink records would attribute results
+// to a parameter that never ran (e.g. labeled drain=0s, simulated 3s).
+func TestExpandRejectsZeroDefaultedAxisValues(t *testing.T) {
+	cases := []struct{ name, axes string }{
+		{"drain", `"drain": ["0s", "1s"]`},
+		{"packetsPerNode", `"packetsPerNode": [0, 2]`},
+		{"meanArrival", `"meanArrival": [0]`},
+		{"gridSpacing", `"gridSpacing": [0, 5]`},
+		{"clusterInterestProb", `"clusterInterestProb": [0, 0.1]`},
+		{"mobilityPeriod", `"mobilityPeriod": ["0s"]`},
+		{"mobilityFraction", `"mobilityFraction": [0]`},
+		{"routeAlternatives", `"routeAlternatives": [0, 2]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := specFromJSON(t, `{
+				"name": "zeros",
+				"base": {"protocol": "spms", "workload": "all-to-all", "nodes": 16, "zoneRadius": 15},
+				"axes": {`+tc.axes+`}
+			}`)
+			_, err := Expand(spec)
+			if err == nil || !strings.Contains(err.Error(), tc.name) || !strings.Contains(err.Error(), "default") {
+				t.Fatalf("Expand accepted zero %s axis value; err = %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestExpandGridCap checks runaway products fail fast.
+func TestExpandGridCap(t *testing.T) {
+	spec := specFromJSON(t, `{
+		"name": "huge",
+		"base": {"protocol": "spms", "workload": "all-to-all", "zoneRadius": 20},
+		"axes": {
+			"nodes": {"from": 1, "to": 2000},
+			"packetsPerNode": {"from": 1, "to": 2000}
+		}
+	}`)
+	if _, err := Expand(spec); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v, want grid-cap error", err)
+	}
+}

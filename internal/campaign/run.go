@@ -1,0 +1,89 @@
+// run.go executes an expanded campaign through experiment.Sweep and
+// streams finished points to the sinks. The sweep's OnPoint callback
+// delivers completions serialized but possibly out of point order; the
+// runner buffers them and flushes the contiguous prefix, so sinks always
+// observe index order and their output is byte-identical at every pool
+// size — streaming without giving up the ordered-reassembly contract.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/experiment"
+)
+
+// RunOptions configures campaign execution.
+type RunOptions struct {
+	// Workers bounds the sweep pool; zero or negative means one per core.
+	Workers int
+	// Sinks receive every finished point in index order. The runner calls
+	// Begin before the first point and Close after the last, including on
+	// failure (to flush partial output).
+	Sinks []Sink
+	// Run overrides the per-point executor (tests); nil means
+	// experiment.Run.
+	Run func(experiment.Scenario) (experiment.Result, error)
+}
+
+// Run executes every point and returns the results in point order; sinks
+// have already received the full stream when it returns nil error.
+func (c *Campaign) Run(opts RunOptions) ([]experiment.Result, error) {
+	for i, s := range opts.Sinks {
+		if err := s.Begin(c); err != nil {
+			// Close what was already begun so buffered output (CSV
+			// headers) is flushed — the documented Begin/Close contract.
+			for _, begun := range opts.Sinks[:i] {
+				begun.Close()
+			}
+			return nil, err
+		}
+	}
+
+	scenarios := make([]experiment.Scenario, len(c.Points))
+	for i, p := range c.Points {
+		scenarios[i] = p.Scenario
+	}
+
+	// Ordered streaming: OnPoint calls are serialized by the sweep, so
+	// this state needs no lock of its own. A sink error propagates back
+	// through OnPoint's return, aborting the sweep instead of letting the
+	// remaining points simulate into a dead sink.
+	pending := make(map[int]experiment.Result)
+	next := 0
+	onPoint := func(i int, _ experiment.Scenario, res experiment.Result) error {
+		pending[i] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				return nil
+			}
+			delete(pending, next)
+			for _, s := range opts.Sinks {
+				if err := s.Point(c.Points[next], r); err != nil {
+					return err
+				}
+			}
+			next++
+		}
+	}
+
+	results, err := experiment.Sweep{
+		Points:  scenarios,
+		Run:     opts.Run,
+		Workers: opts.Workers,
+		OnPoint: onPoint,
+	}.Execute()
+
+	var closeErr error
+	for _, s := range opts.Sinks {
+		closeErr = errors.Join(closeErr, s.Close())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign %q: %w", c.Spec.Name, err)
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	return results, nil
+}

@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// stubRun tags each result with its scenario's node count; no simulation.
+func stubRun(sc experiment.Scenario) (experiment.Result, error) {
+	return experiment.Result{Items: sc.Nodes, EnergyPerPacket: float64(sc.Seed)}, nil
+}
+
+// gridSpec is a 2×3×2 grid used by the runner tests.
+func gridSpec(t *testing.T) Spec {
+	return specFromJSON(t, `{
+		"name": "grid",
+		"base": {"workload": "all-to-all", "zoneRadius": 20, "seed": 1},
+		"axes": {
+			"protocol": ["spms", "spin"],
+			"nodes": [25, 49, 100],
+			"seed": {"count": 2}
+		}
+	}`)
+}
+
+// TestRunStreamsInOrder is the ordered-streaming contract: even with a
+// full worker pool completing points out of order, every sink observes
+// points strictly in index order.
+func TestRunStreamsInOrder(t *testing.T) {
+	c, err := Expand(gridSpec(t))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	for _, workers := range []int{1, 8} {
+		mem := &MemorySink{}
+		results, err := c.Run(RunOptions{Workers: workers, Sinks: []Sink{mem}, Run: stubRun})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != len(c.Points) || len(mem.Points) != len(c.Points) {
+			t.Fatalf("workers=%d: %d results, %d streamed, want %d", workers, len(results), len(mem.Points), len(c.Points))
+		}
+		if !mem.Closed {
+			t.Fatalf("workers=%d: sink not closed", workers)
+		}
+		for i, pr := range mem.Points {
+			if pr.Point.Index != i {
+				t.Fatalf("workers=%d: streamed point %d has index %d — sink saw out-of-order delivery", workers, i, pr.Point.Index)
+			}
+			if pr.Result != results[i] {
+				t.Fatalf("workers=%d: streamed result %d diverges from Execute's", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunSinkFormats golden-checks the first JSONL record and CSV rows of
+// a stub campaign.
+func TestRunSinkFormats(t *testing.T) {
+	c, err := Expand(gridSpec(t))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var jsonl, csvBuf bytes.Buffer
+	_, err = c.Run(RunOptions{Workers: 4, Sinks: []Sink{NewJSONLSink(&jsonl), NewCSVSink(&csvBuf)}, Run: stubRun})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(jsonl.String(), "\n"), "\n")
+	if len(lines) != len(c.Points) {
+		t.Fatalf("%d JSONL lines, want %d", len(lines), len(c.Points))
+	}
+	var rec struct {
+		Campaign string            `json:"campaign"`
+		Index    int               `json:"index"`
+		Params   map[string]string `json:"params"`
+		Scenario json.RawMessage   `json:"scenario"`
+		Result   experiment.Result `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("JSONL line 0: %v\n%s", err, lines[0])
+	}
+	if rec.Campaign != "grid" || rec.Index != 0 {
+		t.Fatalf("JSONL tagging: %+v", rec)
+	}
+	if rec.Params["protocol"] != "spms" || rec.Params["nodes"] != "25" || rec.Params["seed"] != "1" {
+		t.Fatalf("JSONL params: %v", rec.Params)
+	}
+	if rec.Result.Items != 25 {
+		t.Fatalf("JSONL result: %+v", rec.Result)
+	}
+	// Params preserve axis order on the wire (maps would sort).
+	if !strings.Contains(lines[0], `"params":{"protocol":"spms","nodes":"25","seed":"1"}`) {
+		t.Fatalf("JSONL param order lost: %s", lines[0])
+	}
+
+	csvLines := strings.Split(strings.TrimRight(csvBuf.String(), "\n"), "\n")
+	if len(csvLines) != 1+len(c.Points) {
+		t.Fatalf("%d CSV lines, want header + %d", len(csvLines), len(c.Points))
+	}
+	if !strings.HasPrefix(csvLines[0], "index,protocol,nodes,seed,totalEnergy_uJ,") {
+		t.Fatalf("CSV header: %s", csvLines[0])
+	}
+	if !strings.HasPrefix(csvLines[1], "0,spms,25,1,") {
+		t.Fatalf("CSV row 0: %s", csvLines[1])
+	}
+}
+
+// TestRunSinkErrorAborts checks a failing sink surfaces its error AND
+// stops the sweep: with a serial pool, no point beyond the failing
+// delivery may simulate (a dead sink must not burn hours of grid).
+func TestRunSinkErrorAborts(t *testing.T) {
+	c, err := Expand(gridSpec(t))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var runs int
+	counting := func(sc experiment.Scenario) (experiment.Result, error) {
+		runs++
+		return stubRun(sc)
+	}
+	boom := &failingSink{failAt: 3}
+	_, err = c.Run(RunOptions{Workers: 1, Sinks: []Sink{boom}, Run: counting})
+	if err == nil || !strings.Contains(err.Error(), "sink boom") {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if runs != 4 {
+		t.Fatalf("%d points simulated after the sink died at delivery 4, want exactly 4", runs)
+	}
+
+	// Parallel pools still surface the error.
+	_, err = c.Run(RunOptions{Workers: 4, Sinks: []Sink{&failingSink{failAt: 3}}, Run: stubRun})
+	if err == nil || !strings.Contains(err.Error(), "sink boom") {
+		t.Fatalf("workers=4: err = %v, want sink error", err)
+	}
+}
+
+// TestRunBeginFailureClosesBegunSinks checks that when a later sink's
+// Begin fails, sinks already begun are still closed (flushing buffered
+// output like CSV headers).
+func TestRunBeginFailureClosesBegunSinks(t *testing.T) {
+	c, err := Expand(gridSpec(t))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	mem := &MemorySink{}
+	_, err = c.Run(RunOptions{Sinks: []Sink{mem, &beginFailingSink{}}, Run: stubRun})
+	if err == nil || !strings.Contains(err.Error(), "begin boom") {
+		t.Fatalf("err = %v, want begin error", err)
+	}
+	if !mem.Closed {
+		t.Fatal("first sink not closed after second sink's Begin failed")
+	}
+	if len(mem.Points) != 0 {
+		t.Fatalf("points streamed despite Begin failure: %d", len(mem.Points))
+	}
+}
+
+type beginFailingSink struct{}
+
+func (s *beginFailingSink) Begin(*Campaign) error                { return fmt.Errorf("begin boom") }
+func (s *beginFailingSink) Point(Point, experiment.Result) error { return nil }
+func (s *beginFailingSink) Close() error                         { return nil }
+
+type failingSink struct {
+	failAt int
+	seen   int
+}
+
+func (s *failingSink) Begin(*Campaign) error { return nil }
+func (s *failingSink) Point(Point, experiment.Result) error {
+	s.seen++
+	if s.seen > s.failAt {
+		return fmt.Errorf("sink boom")
+	}
+	return nil
+}
+func (s *failingSink) Close() error { return nil }
+
+// TestCampaignParallelDeterminism is the subsystem's acceptance contract,
+// mirroring TestSweepParallelDeterminism one layer up: running the same
+// expanded spec through real simulations at workers=1 and workers=NumCPU
+// yields byte-identical JSONL and CSV streams.
+func TestCampaignParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	spec := specFromJSON(t, `{
+		"name": "determinism",
+		"base": {"workload": "all-to-all", "packetsPerNode": 1, "zoneRadius": 15, "drain": "1500ms", "seed": 1},
+		"axes": {
+			"protocol": ["spms", "spin"],
+			"nodes": [16, 25],
+			"failures": [false, true]
+		}
+	}`)
+	run := func(workers int) (string, string) {
+		c, err := Expand(spec)
+		if err != nil {
+			t.Fatalf("Expand: %v", err)
+		}
+		var jsonl, csvBuf bytes.Buffer
+		if _, err := c.Run(RunOptions{Workers: workers, Sinks: []Sink{NewJSONLSink(&jsonl), NewCSVSink(&csvBuf)}}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return jsonl.String(), csvBuf.String()
+	}
+	j1, c1 := run(1)
+	jn, cn := run(runtime.NumCPU())
+	if j1 != jn {
+		t.Fatalf("JSONL diverged between workers=1 and workers=%d:\n--- serial\n%s\n--- parallel\n%s", runtime.NumCPU(), j1, jn)
+	}
+	if c1 != cn {
+		t.Fatalf("CSV diverged between workers=1 and workers=%d:\n--- serial\n%s\n--- parallel\n%s", runtime.NumCPU(), c1, cn)
+	}
+	if len(strings.Split(strings.TrimRight(j1, "\n"), "\n")) != 8 {
+		t.Fatalf("unexpected JSONL line count:\n%s", j1)
+	}
+}

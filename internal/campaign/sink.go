@@ -1,0 +1,181 @@
+// sink.go defines the streaming result sinks. The runner (run.go)
+// guarantees sinks observe points strictly in index order — out-of-order
+// sweep completions are buffered and flushed as an ordered prefix — so a
+// sink is a plain sequential writer and its output is byte-identical at
+// every worker-pool size.
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// Sink consumes finished campaign points in index order. Begin is called
+// once before any point, Close once after the last (also on failure, to
+// flush what was written).
+type Sink interface {
+	Begin(c *Campaign) error
+	Point(p Point, res experiment.Result) error
+	Close() error
+}
+
+// JSONLSink writes one JSON object per point: the campaign name, point
+// index, its parameter tuple (axis order preserved), the fully-defaulted
+// scenario, and the result.
+type JSONLSink struct {
+	w        io.Writer
+	campaign string
+}
+
+// NewJSONLSink builds a JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Begin records the campaign name for per-line tagging.
+func (s *JSONLSink) Begin(c *Campaign) error {
+	s.campaign = c.Spec.Name
+	return nil
+}
+
+// Point writes one record line.
+func (s *JSONLSink) Point(p Point, res experiment.Result) error {
+	rec := struct {
+		Campaign string              `json:"campaign,omitempty"`
+		Index    int                 `json:"index"`
+		Params   json.RawMessage     `json:"params"`
+		Scenario experiment.Scenario `json:"scenario"`
+		Result   experiment.Result   `json:"result"`
+	}{s.campaign, p.Index, paramsJSON(p.Params), p.Scenario, res}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("campaign: jsonl point %d: %w", p.Index, err)
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("campaign: jsonl write: %w", err)
+	}
+	return nil
+}
+
+// Close is a no-op; the caller owns the writer.
+func (s *JSONLSink) Close() error { return nil }
+
+// paramsJSON renders the tuple as a JSON object preserving axis order
+// (json.Marshal of a map would sort keys alphabetically).
+func paramsJSON(ps []Param) json.RawMessage {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, _ := json.Marshal(p.Name)
+		v, _ := json.Marshal(p.Value)
+		b.Write(k)
+		b.WriteByte(':')
+		b.Write(v)
+	}
+	b.WriteByte('}')
+	return b.Bytes()
+}
+
+// csvResultColumns is the fixed result half of the CSV header. Delays are
+// milliseconds, energies microjoules.
+var csvResultColumns = []string{
+	"totalEnergy_uJ", "energyPerPacket_uJ", "ctrlEnergy_uJ",
+	"meanDelay_ms", "p95Delay_ms", "maxDelay_ms",
+	"items", "deliveries", "expected", "deliveryRate",
+	"timeouts", "failovers", "drops", "duplicates",
+	"sentADV", "sentREQ", "sentDATA",
+	"dbfRounds", "dbfBroadcasts", "mobilityEvents", "failuresInjected",
+}
+
+// CSVSink writes a header of "index", one column per axis, then the fixed
+// result columns, followed by one row per point.
+type CSVSink struct {
+	w *csv.Writer
+}
+
+// NewCSVSink builds a CSV sink over w.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: csv.NewWriter(w)} }
+
+// Begin writes the header row.
+func (s *CSVSink) Begin(c *Campaign) error {
+	header := append([]string{"index"}, c.AxisNames...)
+	header = append(header, csvResultColumns...)
+	if err := s.w.Write(header); err != nil {
+		return fmt.Errorf("campaign: csv header: %w", err)
+	}
+	return nil
+}
+
+// Point writes one row.
+func (s *CSVSink) Point(p Point, res experiment.Result) error {
+	row := make([]string, 0, 1+len(p.Params)+len(csvResultColumns))
+	row = append(row, strconv.Itoa(p.Index))
+	for _, pr := range p.Params {
+		row = append(row, pr.Value)
+	}
+	row = append(row,
+		gf(res.TotalEnergy), gf(res.EnergyPerPacket), gf(res.CtrlEnergy),
+		gf(ms(res.MeanDelay)), gf(ms(res.P95Delay)), gf(ms(res.MaxDelay)),
+		strconv.Itoa(res.Items), strconv.Itoa(res.Deliveries), strconv.Itoa(res.Expected), gf(res.DeliveryRate),
+		u64(res.Timeouts), u64(res.Failovers), u64(res.Drops), u64(res.Duplicates),
+		u64(res.SentADV), u64(res.SentREQ), u64(res.SentDATA),
+		strconv.Itoa(res.DBFRounds), strconv.Itoa(res.DBFBroadcasts), strconv.Itoa(res.MobilityEvents), strconv.Itoa(res.FailuresInjected),
+	)
+	if err := s.w.Write(row); err != nil {
+		return fmt.Errorf("campaign: csv point %d: %w", p.Index, err)
+	}
+	return nil
+}
+
+// Close flushes buffered rows.
+func (s *CSVSink) Close() error {
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		return fmt.Errorf("campaign: csv flush: %w", err)
+	}
+	return nil
+}
+
+func gf(v float64) string        { return strconv.FormatFloat(v, 'g', -1, 64) }
+func u64(v uint64) string        { return strconv.FormatUint(v, 10) }
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// PointResult is one recorded (point, result) pair.
+type PointResult struct {
+	Point  Point
+	Result experiment.Result
+}
+
+// MemorySink records everything it sees; the in-process sink for tests
+// and for callers that want the tagged stream without serialization.
+type MemorySink struct {
+	Campaign *Campaign
+	Points   []PointResult
+	Closed   bool
+}
+
+// Begin records the campaign.
+func (s *MemorySink) Begin(c *Campaign) error {
+	s.Campaign = c
+	return nil
+}
+
+// Point records the pair.
+func (s *MemorySink) Point(p Point, res experiment.Result) error {
+	s.Points = append(s.Points, PointResult{p, res})
+	return nil
+}
+
+// Close marks the stream complete.
+func (s *MemorySink) Close() error {
+	s.Closed = true
+	return nil
+}

@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecAxisForms(t *testing.T) {
+	in := `{
+		"name": "forms",
+		"base": {"protocol": "spms", "workload": "all-to-all", "zoneRadius": 20, "seed": 7},
+		"axes": {
+			"protocol": ["spms", "spin", "flood"],
+			"nodes": {"from": 25, "to": 100, "step": 25},
+			"zoneRadius": {"from": 5, "to": 15, "step": 5},
+			"packetsPerNode": [1, 2],
+			"meanArrival": ["1ms", 2000000],
+			"mobilityPeriod": {"from": "50ms", "to": "150ms", "step": "50ms"},
+			"seed": {"count": 3}
+		}
+	}`
+	spec, err := ParseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if got := spec.Axes.Nodes.Values; len(got) != 4 || got[0] != 25 || got[3] != 100 {
+		t.Fatalf("nodes range: %v", got)
+	}
+	if got := spec.Axes.ZoneRadius.Values; len(got) != 3 || got[2] != 15 {
+		t.Fatalf("radius range: %v", got)
+	}
+	if got := spec.Axes.MeanArrival.Values; len(got) != 2 || got[0] != time.Millisecond || got[1] != 2*time.Millisecond {
+		t.Fatalf("meanArrival mixed forms: %v", got)
+	}
+	if got := spec.Axes.MobilityPeriod.Values; len(got) != 3 || got[0] != 50*time.Millisecond || got[2] != 150*time.Millisecond {
+		t.Fatalf("mobilityPeriod range: %v", got)
+	}
+	if spec.Axes.Seed.Count != 3 {
+		t.Fatalf("seed count: %+v", spec.Axes.Seed)
+	}
+	if len(spec.Axes.Workload) != 0 {
+		t.Fatalf("workload axis should be empty: %v", spec.Axes.Workload)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct{ name, in, wantErr string }{
+		{"no name", `{"base":{}}`, "no name"},
+		{"unknown top-level field", `{"name":"x","axess":{}}`, "axess"},
+		{"unknown axis", `{"name":"x","axes":{"warpFactor":[9]}}`, "warpFactor"},
+		{"typoed range key", `{"name":"x","axes":{"nodes":{"from":1,"to":5,"setp":2}}}`, "setp"},
+		{"descending int range", `{"name":"x","axes":{"nodes":{"from":10,"to":5}}}`, "empty"},
+		{"zero float step", `{"name":"x","axes":{"zoneRadius":{"from":5,"to":10,"step":0}}}`, "positive"},
+		{"bad duration", `{"name":"x","axes":{"drain":["eleventy"]}}`, "bad duration"},
+		{"seed count plus range", `{"name":"x","axes":{"seed":{"count":2,"from":1,"to":3}}}`, "excludes"},
+		{"huge int range", `{"name":"x","axes":{"nodes":{"from":1,"to":200000000}}}`, "max 1000000"},
+		{"huge float range", `{"name":"x","axes":{"zoneRadius":{"from":0,"to":1e12,"step":0.5}}}`, "max 1000000"},
+		{"huge duration range", `{"name":"x","axes":{"drain":{"from":"0s","to":"2540400h","step":"1ns"}}}`, "max 1000000"},
+		{"huge seed range", `{"name":"x","axes":{"seed":{"from":0,"to":9223372036854775807}}}`, "max 1000000"},
+		{"huge seed count", `{"name":"x","axes":{"seed":{"count":200000000}}}`, "exceeds"},
+		{"int range missing from", `{"name":"x","axes":{"nodes":{"to":8}}}`, "needs both from and to"},
+		{"int range empty object", `{"name":"x","axes":{"packetsPerNode":{}}}`, "needs both from and to"},
+		{"float range missing to", `{"name":"x","axes":{"zoneRadius":{"from":5,"step":5}}}`, "needs both from and to"},
+		{"duration range missing from", `{"name":"x","axes":{"drain":{"to":"3s","step":"1s"}}}`, "needs both from and to"},
+		{"seed missing bounds", `{"name":"x","axes":{"seed":{"step":2}}}`, "count or from/to"},
+		{"unknown scenario field", `{"name":"x","base":{"nodez":25}}`, "nodez"},
+		{"unknown protocol in axis", `{"name":"x","axes":{"protocol":["smps"]}}`, "unknown protocol"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseSpecNullAxis checks JSON null leaves an axis empty (the
+// encoding/json convention) rather than erroring or expanding from zero.
+func TestParseSpecNullAxis(t *testing.T) {
+	in := `{"name":"x","axes":{"nodes":null,"zoneRadius":null,"drain":null,"seed":null}}`
+	spec, err := ParseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(spec.Axes.Nodes.Values) != 0 || len(spec.Axes.ZoneRadius.Values) != 0 ||
+		len(spec.Axes.Drain.Values) != 0 || len(spec.Axes.Seed.Values) != 0 || spec.Axes.Seed.Count != 0 {
+		t.Fatalf("null axes not empty: %+v", spec.Axes)
+	}
+}
+
+func TestFloatRangeIncludesUpperBound(t *testing.T) {
+	in := `{"name":"x","axes":{"zoneRadius":{"from":0.1,"to":0.3,"step":0.1}}}`
+	spec, err := ParseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	got := spec.Axes.ZoneRadius.Values
+	if len(got) != 3 {
+		t.Fatalf("0.1..0.3 step 0.1 expanded to %v, want 3 values (upper bound kept despite float rounding)", got)
+	}
+}

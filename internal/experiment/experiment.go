@@ -60,47 +60,62 @@ const (
 	Clustered
 )
 
-// Scenario is one fully specified simulation run.
+// String names the workload as spec files and flags do.
+func (w WorkloadKind) String() string {
+	switch w {
+	case AllToAll:
+		return "all-to-all"
+	case Clustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("WorkloadKind(%d)", int(w))
+	}
+}
+
+// Scenario is one fully specified simulation run. The JSON form (tags
+// below, codecs in json.go) is the wire format of campaign spec files and
+// result-sink tagging: protocols and workloads appear as names ("spms",
+// "all-to-all") and durations as Go duration strings ("2.5ms").
 type Scenario struct {
-	Protocol Protocol
-	Workload WorkloadKind
+	Protocol Protocol     `json:"protocol,omitempty"`
+	Workload WorkloadKind `json:"workload,omitempty"`
 
 	// Topology. Nodes are placed on a square grid with GridSpacing meters
 	// between neighbors; the radio is a MICA2 scaled so maximum range is
 	// ZoneRadius meters.
-	Nodes       int
-	GridSpacing float64
-	ZoneRadius  float64
+	Nodes       int     `json:"nodes,omitempty"`
+	GridSpacing float64 `json:"gridSpacing,omitempty"`
+	ZoneRadius  float64 `json:"zoneRadius,omitempty"`
 
 	// Traffic.
-	PacketsPerNode      int
-	MeanArrival         time.Duration
-	ClusterInterestProb float64 // Clustered only; default 5%
+	PacketsPerNode      int           `json:"packetsPerNode,omitempty"`
+	MeanArrival         time.Duration `json:"meanArrival,omitempty"`
+	ClusterInterestProb float64       `json:"clusterInterestProb,omitempty"` // Clustered only; default 5%
 
 	// Failures (§5.1.2). Zero FailureCfg means fault.DefaultConfig.
-	Failures   bool
-	FailureCfg fault.Config
+	Failures   bool         `json:"failures,omitempty"`
+	FailureCfg fault.Config `json:"failureConfig"`
 
 	// Mobility (§5.1.3): every MobilityPeriod, MobilityFraction of the
 	// nodes relocates and (for SPMS) routing re-converges, charged as
 	// control energy.
-	Mobility         bool
-	MobilityPeriod   time.Duration
-	MobilityFraction float64
+	Mobility         bool          `json:"mobility,omitempty"`
+	MobilityPeriod   time.Duration `json:"mobilityPeriod,omitempty"`
+	MobilityFraction float64       `json:"mobilityFraction,omitempty"`
 
 	// Protocol tuning.
-	SPMSConfig        core.Config // zero value means core.DefaultConfig
-	RouteAlternatives int         // SPMS routing entries per destination; 0 = 2
-	ChargeInitialDBF  bool        // charge the initial convergence, not just re-runs
+	SPMSConfig        core.Config `json:"spmsConfig"`                  // zero value means core.DefaultConfig
+	RouteAlternatives int         `json:"routeAlternatives,omitempty"` // SPMS routing entries per destination; 0 = 2
+	ChargeInitialDBF  bool        `json:"chargeInitialDBF,omitempty"`  // charge the initial convergence, not just re-runs
 
 	// CarrierSense enables shared-channel serialization in the network
 	// layer (see network.Config). Off for all figure reproductions; the MAC
 	// ablation benchmark turns it on.
-	CarrierSense bool
+	CarrierSense bool `json:"carrierSense,omitempty"`
 
 	// Run control.
-	Seed  int64
-	Drain time.Duration // extra simulated time after the last origination
+	Seed  int64         `json:"seed,omitempty"`
+	Drain time.Duration `json:"drain,omitempty"` // extra simulated time after the last origination
 }
 
 // Defaults used when a Scenario leaves fields zero.
@@ -113,8 +128,10 @@ const (
 // keep firing: an allowance for in-flight dissemination.
 const mobilityActiveTail = 500 * time.Millisecond
 
-// withDefaults fills unset fields.
-func (s Scenario) withDefaults() Scenario {
+// WithDefaults returns a copy with every unset field filled with the
+// package default — the exact scenario Run executes. Campaign expansion
+// applies it so every emitted parameter tuple is fully explicit.
+func (s Scenario) WithDefaults() Scenario {
 	if s.GridSpacing == 0 {
 		s.GridSpacing = DefaultGridSpacing
 	}
@@ -150,8 +167,12 @@ func (s Scenario) withDefaults() Scenario {
 	return s
 }
 
-// validate rejects unusable scenarios.
-func (s Scenario) validate() error {
+// Validate rejects unusable scenarios. Zero values that WithDefaults
+// fills (packets, arrival, spacing, drain, …) are accepted; explicit
+// nonsense — negative counts or durations, probabilities outside [0,1] —
+// is not, so a hand-written campaign spec fails loudly instead of
+// simulating garbage.
+func (s Scenario) Validate() error {
 	if s.Protocol < SPMS || s.Protocol > Flooding {
 		return fmt.Errorf("experiment: unknown protocol %d", int(s.Protocol))
 	}
@@ -161,52 +182,83 @@ func (s Scenario) validate() error {
 	if s.Nodes <= 0 {
 		return fmt.Errorf("experiment: non-positive node count %d", s.Nodes)
 	}
+	if s.GridSpacing < 0 {
+		return fmt.Errorf("experiment: negative grid spacing %v", s.GridSpacing)
+	}
 	if s.ZoneRadius <= 0 {
 		return fmt.Errorf("experiment: non-positive zone radius %v", s.ZoneRadius)
+	}
+	if s.PacketsPerNode < 0 {
+		return fmt.Errorf("experiment: negative packets per node %d", s.PacketsPerNode)
+	}
+	if s.MeanArrival < 0 {
+		return fmt.Errorf("experiment: negative mean arrival %v", s.MeanArrival)
+	}
+	if s.ClusterInterestProb < 0 || s.ClusterInterestProb > 1 {
+		return fmt.Errorf("experiment: cluster interest probability %v outside [0,1]", s.ClusterInterestProb)
+	}
+	if s.Failures && s.FailureCfg != (fault.Config{}) {
+		if err := s.FailureCfg.Validate(); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+	}
+	if s.MobilityPeriod < 0 {
+		return fmt.Errorf("experiment: negative mobility period %v", s.MobilityPeriod)
+	}
+	if s.MobilityFraction < 0 || s.MobilityFraction > 1 {
+		return fmt.Errorf("experiment: mobility fraction %v outside [0,1]", s.MobilityFraction)
+	}
+	if s.RouteAlternatives < 0 {
+		return fmt.Errorf("experiment: negative route alternatives %d", s.RouteAlternatives)
+	}
+	if s.Drain < 0 {
+		return fmt.Errorf("experiment: negative drain %v", s.Drain)
 	}
 	return nil
 }
 
-// Result is the outcome of one Run.
+// Result is the outcome of one Run. The JSON form is what campaign result
+// sinks stream; durations serialize as integer nanoseconds (exact, easy to
+// post-process), energies as µJ floats.
 type Result struct {
 	// Energy, in microjoules.
-	TotalEnergy     float64
-	EnergyPerPacket float64 // total / originated items
-	CtrlEnergy      float64 // routing-convergence share
+	TotalEnergy     float64 `json:"totalEnergy"`
+	EnergyPerPacket float64 `json:"energyPerPacket"` // total / originated items
+	CtrlEnergy      float64 `json:"ctrlEnergy"`      // routing-convergence share
 
 	// Delay.
-	MeanDelay time.Duration
-	P95Delay  time.Duration
-	MaxDelay  time.Duration
+	MeanDelay time.Duration `json:"meanDelayNs"`
+	P95Delay  time.Duration `json:"p95DelayNs"`
+	MaxDelay  time.Duration `json:"maxDelayNs"`
 
 	// Delivery accounting.
-	Items        int // data items originated
-	Deliveries   int // distinct (node, item) deliveries
-	Expected     int // deliveries a lossless run would make
-	DeliveryRate float64
+	Items        int     `json:"items"`      // data items originated
+	Deliveries   int     `json:"deliveries"` // distinct (node, item) deliveries
+	Expected     int     `json:"expected"`   // deliveries a lossless run would make
+	DeliveryRate float64 `json:"deliveryRate"`
 
 	// Protocol event counters.
-	Timeouts   uint64
-	Failovers  uint64
-	Drops      uint64
-	Duplicates uint64
-	SentADV    uint64
-	SentREQ    uint64
-	SentDATA   uint64
+	Timeouts   uint64 `json:"timeouts"`
+	Failovers  uint64 `json:"failovers"`
+	Drops      uint64 `json:"drops"`
+	Duplicates uint64 `json:"duplicates"`
+	SentADV    uint64 `json:"sentADV"`
+	SentREQ    uint64 `json:"sentREQ"`
+	SentDATA   uint64 `json:"sentDATA"`
 
 	// Routing.
-	DBFRounds      int // initial convergence rounds
-	DBFBroadcasts  int // initial convergence vector broadcasts
-	MobilityEvents int
+	DBFRounds      int `json:"dbfRounds"`     // initial convergence rounds
+	DBFBroadcasts  int `json:"dbfBroadcasts"` // initial convergence vector broadcasts
+	MobilityEvents int `json:"mobilityEvents"`
 
 	// Failure injection.
-	FailuresInjected int
+	FailuresInjected int `json:"failuresInjected"`
 }
 
 // Run executes the scenario to completion and collects metrics.
 func Run(sc Scenario) (Result, error) {
-	sc = sc.withDefaults()
-	if err := sc.validate(); err != nil {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
 

@@ -229,14 +229,13 @@ func nodeAxis(q Quality) []float64 {
 	return xs
 }
 
-// Table1 returns the simulation parameters as a rendered table, verifying
-// that the defaults wired through the packages equal the paper's Table 1.
-func Table1() string {
+// Table1Rows returns the simulation parameters as (name, value) pairs,
+// verifying that the defaults wired through the packages equal the
+// paper's Table 1. cmd/figures renders them as text or CSV.
+func Table1Rows() [][2]string {
 	macCfg := mac.AnalyticConfig() // the configuration Run wires in
 	failCfg := fault.DefaultConfig()
 	sizes := packet.DefaultSizes()
-	var b strings.Builder
-	b.WriteString("## Table 1 — Simulation Parameters\n")
 	rows := [][2]string{
 		{"Packet arrivals (Poisson mean)", workload.DefaultMeanArrival.String()},
 		{"Failure inter-arrival (exp mean)", failCfg.MeanInterArrival.String()},
@@ -252,7 +251,14 @@ func Table1() string {
 		{"Size of DATA : REQ", fmt.Sprintf("%d (DATA = %d B)", sizes.DATA/sizes.REQ, sizes.DATA)},
 		{"TOutADV / TOutDAT", "1ms / 2.5ms"},
 	}
-	for _, r := range rows {
+	return rows
+}
+
+// Table1 renders the parameter table as aligned text.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("## Table 1 — Simulation Parameters\n")
+	for _, r := range Table1Rows() {
 		fmt.Fprintf(&b, "%-36s %s\n", r[0], r[1])
 	}
 	return b.String()

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// TestScenarioJSONRoundTrip marshals a fully-populated scenario and checks
+// the decode reproduces it field for field.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := Scenario{
+		Protocol:            SPMS,
+		Workload:            Clustered,
+		Nodes:               169,
+		GridSpacing:         5,
+		ZoneRadius:          20,
+		PacketsPerNode:      10,
+		MeanArrival:         time.Millisecond,
+		ClusterInterestProb: 0.05,
+		Failures:            true,
+		FailureCfg:          fault.DefaultConfig(),
+		Mobility:            true,
+		MobilityPeriod:      100 * time.Millisecond,
+		MobilityFraction:    0.05,
+		SPMSConfig:          core.DefaultConfig(),
+		RouteAlternatives:   3,
+		ChargeInitialDBF:    true,
+		CarrierSense:        true,
+		Seed:                42,
+		Drain:               3 * time.Second,
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if back != sc {
+		t.Fatalf("round trip diverged:\nin:   %+v\nout:  %+v\njson: %s", sc, back, data)
+	}
+	for _, frag := range []string{`"protocol":"spms"`, `"workload":"clustered"`, `"drain":"3s"`, `"meanInterArrival":"50ms"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("wire form missing %s:\n%s", frag, data)
+		}
+	}
+}
+
+// TestScenarioJSONFlexibleInput checks the spec-file conveniences: named
+// protocols/workloads (any case), duration strings or raw nanoseconds.
+func TestScenarioJSONFlexibleInput(t *testing.T) {
+	in := `{
+		"protocol": "SPIN",
+		"workload": "cluster",
+		"nodes": 49,
+		"zoneRadius": 15,
+		"meanArrival": 1000000,
+		"drain": "2s"
+	}`
+	var sc Scenario
+	if err := json.Unmarshal([]byte(in), &sc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if sc.Protocol != SPIN || sc.Workload != Clustered {
+		t.Fatalf("enum parse: %+v", sc)
+	}
+	if sc.MeanArrival != time.Millisecond || sc.Drain != 2*time.Second {
+		t.Fatalf("duration parse: arrival=%v drain=%v", sc.MeanArrival, sc.Drain)
+	}
+}
+
+// TestScenarioJSONRejects checks strict decoding: unknown fields, unknown
+// enum names, and malformed durations all fail loudly.
+func TestScenarioJSONRejects(t *testing.T) {
+	cases := []struct{ name, in, wantErr string }{
+		{"unknown field", `{"protocol":"spms","nodez":25}`, "nodez"},
+		{"unknown protocol", `{"protocol":"smps"}`, "unknown protocol"},
+		{"unknown workload", `{"workload":"mesh"}`, "unknown workload"},
+		{"bad duration", `{"drain":"3 parsecs"}`, "bad duration"},
+		{"bad nested field", `{"failureConfig":{"mttr":"10ms"}}`, "mttr"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sc Scenario
+			err := json.Unmarshal([]byte(tc.in), &sc)
+			if err == nil {
+				t.Fatalf("accepted %s as %+v", tc.in, sc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestResultJSONTags spot-checks Result's wire names.
+func TestResultJSONTags(t *testing.T) {
+	data, err := json.Marshal(Result{MeanDelay: 1500 * time.Microsecond, EnergyPerPacket: 2.5})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, frag := range []string{`"meanDelayNs":1500000`, `"energyPerPacket":2.5`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("result wire form missing %s:\n%s", frag, data)
+		}
+	}
+}

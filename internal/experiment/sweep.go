@@ -25,6 +25,16 @@ type Sweep struct {
 
 	// Workers bounds the pool. Zero or negative means runtime.GOMAXPROCS(0).
 	Workers int
+
+	// OnPoint, when non-nil, is invoked once per successfully completed
+	// point with its index, scenario, and result — the streaming hook the
+	// campaign sinks hang off. Calls are serialized (never concurrent) but
+	// may arrive out of point order when Workers > 1; Execute still returns
+	// the full result slice in point order. A non-nil return aborts the
+	// sweep — workers stop claiming points and Execute returns that error
+	// (a point's own error takes precedence if both occur). After any
+	// failure, remaining completions are best-effort.
+	OnPoint func(index int, sc Scenario, res Result) error
 }
 
 // Execute runs every point through the worker pool and returns results in
@@ -52,6 +62,11 @@ func (s Sweep) Execute() ([]Result, error) {
 				return nil, fmt.Errorf("sweep point %d (%v): %w", i, p.Protocol, err)
 			}
 			results[i] = r
+			if s.OnPoint != nil {
+				if err := s.OnPoint(i, p, r); err != nil {
+					return nil, err
+				}
+			}
 		}
 		return results, nil
 	}
@@ -61,8 +76,10 @@ func (s Sweep) Execute() ([]Result, error) {
 		failed atomic.Bool  // stop claiming new points after any failure
 		wg     sync.WaitGroup
 		mu     sync.Mutex
+		cbMu   sync.Mutex // serializes OnPoint invocations
 		errIdx = -1
 		first  error
+		cbErr  error // first OnPoint error (point errors take precedence)
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -88,12 +105,28 @@ func (s Sweep) Execute() ([]Result, error) {
 					continue
 				}
 				results[i] = r
+				if s.OnPoint != nil {
+					cbMu.Lock()
+					err := s.OnPoint(i, s.Points[i], r)
+					cbMu.Unlock()
+					if err != nil {
+						failed.Store(true)
+						mu.Lock()
+						if cbErr == nil {
+							cbErr = err
+						}
+						mu.Unlock()
+					}
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	if first != nil {
 		return nil, first
+	}
+	if cbErr != nil {
+		return nil, cbErr
 	}
 	return results, nil
 }

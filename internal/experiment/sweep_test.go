@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -73,6 +74,80 @@ func TestSweepRealScenarioValidation(t *testing.T) {
 	_, err := (Sweep{Points: []Scenario{{}}, Workers: 4}).Execute()
 	if err == nil {
 		t.Fatal("invalid scenario accepted")
+	}
+}
+
+// TestSweepOnPoint checks the streaming callback fires exactly once per
+// point with the matching scenario/result pair, at every pool size. Calls
+// are serialized by Sweep, so the unsynchronized map below is also a race
+// check under -race.
+func TestSweepOnPoint(t *testing.T) {
+	points := make([]Scenario, 53)
+	for i := range points {
+		points[i] = Scenario{Nodes: i + 1}
+	}
+	stub := func(sc Scenario) (Result, error) {
+		return Result{Items: sc.Nodes}, nil
+	}
+	for _, workers := range []int{1, 8} {
+		got := make(map[int]Result)
+		_, err := (Sweep{
+			Points:  points,
+			Run:     stub,
+			Workers: workers,
+			OnPoint: func(i int, sc Scenario, res Result) error {
+				if _, dup := got[i]; dup {
+					t.Errorf("workers=%d: point %d delivered twice", workers, i)
+				}
+				if sc.Nodes != i+1 || res.Items != i+1 {
+					t.Errorf("workers=%d: point %d got sc.Nodes=%d res.Items=%d", workers, i, sc.Nodes, res.Items)
+				}
+				got[i] = res
+				return nil
+			},
+		}).Execute()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(points) {
+			t.Fatalf("workers=%d: %d callbacks, want %d", workers, len(got), len(points))
+		}
+	}
+}
+
+// TestSweepOnPointErrorAborts checks a callback error stops the sweep:
+// serial execution stops immediately after the failing delivery, parallel
+// execution stops claiming points and surfaces the error.
+func TestSweepOnPointErrorAborts(t *testing.T) {
+	points := make([]Scenario, 24)
+	for i := range points {
+		points[i] = Scenario{Nodes: i + 1}
+	}
+	boom := errors.New("sink boom")
+
+	var runs atomic.Int64
+	stub := func(sc Scenario) (Result, error) {
+		runs.Add(1)
+		return Result{Items: sc.Nodes}, nil
+	}
+	cb := func(i int, _ Scenario, _ Result) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	}
+
+	_, err := (Sweep{Points: points, Run: stub, Workers: 1, OnPoint: cb}).Execute()
+	if !errors.Is(err, boom) {
+		t.Fatalf("workers=1: err = %v, want sink boom", err)
+	}
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("workers=1: %d points ran after callback error at point 2, want exactly 3", got)
+	}
+
+	_, err = (Sweep{Points: points, Run: stub, Workers: 8, OnPoint: cb}).Execute()
+	if !errors.Is(err, boom) {
+		t.Fatalf("workers=8: err = %v, want sink boom", err)
 	}
 }
 
