@@ -6,13 +6,17 @@
 //
 // Usage:
 //
-//	campaign run <spec.json> [-parallel N] [-jsonl PATH] [-csv PATH]
+//	campaign run <spec.json> [-parallel N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate]
 //	campaign expand <spec.json>
 //	campaign validate <spec.json>
 //
 // `run` streams JSONL to stdout by default; -jsonl/-csv redirect to files
 // ("-" means stdout, at most one sink may claim it). `expand` prints the
 // expanded grid without simulating; `validate` just checks the spec.
+// -replications overrides the spec's replication count; above 1 the sinks
+// emit aggregate records (mean/std/CI per metric across seed-derived
+// trials), and -per-replicate additionally streams every trial's own
+// JSONL record.
 //
 // Examples:
 //
@@ -37,7 +41,7 @@ func main() {
 
 func usage() int {
 	fmt.Fprintf(os.Stderr, `usage:
-  campaign run <spec.json> [-parallel N] [-jsonl PATH] [-csv PATH]
+  campaign run <spec.json> [-parallel N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate]
   campaign expand <spec.json>
   campaign validate <spec.json>
 `)
@@ -62,12 +66,16 @@ func run(args []string) int {
 	}
 }
 
-// load parses and expands a spec file.
-func load(specPath string) (*campaign.Campaign, int) {
+// load parses and expands a spec file. replications > 0 overrides the
+// spec's own replication count before expansion.
+func load(specPath string, replications int) (*campaign.Campaign, int) {
 	spec, err := campaign.LoadSpec(specPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 		return nil, 1
+	}
+	if replications > 0 {
+		spec.Replications = replications
 	}
 	c, err := campaign.Expand(spec)
 	if err != nil {
@@ -82,9 +90,11 @@ func runCampaign(specPath string, args []string) int {
 	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
 	jsonlPath := fs.String("jsonl", "-", `JSONL output: "-" for stdout, a path, or "" to disable`)
 	csvPath := fs.String("csv", "", `CSV output: "-" for stdout, a path, or "" to disable`)
+	replications := fs.Int("replications", 0, "override the spec's replication count (0 = use the spec's)")
+	perReplicate := fs.Bool("per-replicate", false, "also emit each replicate's own JSONL record, not just the aggregate")
 	fs.Parse(args)
 
-	c, code := load(specPath)
+	c, code := load(specPath, *replications)
 	if code != 0 {
 		return code
 	}
@@ -123,7 +133,9 @@ func runCampaign(specPath string, args []string) int {
 			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 			return 1
 		}
-		sinks = append(sinks, campaign.NewJSONLSink(w))
+		sink := campaign.NewJSONLSink(w)
+		sink.PerReplicate = *perReplicate
+		sinks = append(sinks, sink)
 	}
 	if *csvPath != "" {
 		w, err := open(*csvPath)
@@ -145,15 +157,20 @@ func runCampaign(specPath string, args []string) int {
 		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "campaign %q: %d points across %d axes in %v\n",
-		c.Spec.Name, len(c.Points), len(c.AxisNames), time.Since(start).Round(time.Millisecond))
+	if reps := c.Replications(); reps > 1 {
+		fmt.Fprintf(os.Stderr, "campaign %q: %d points × %d replications across %d axes in %v\n",
+			c.Spec.Name, len(c.Points), reps, len(c.AxisNames), time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(os.Stderr, "campaign %q: %d points across %d axes in %v\n",
+			c.Spec.Name, len(c.Points), len(c.AxisNames), time.Since(start).Round(time.Millisecond))
+	}
 	return 0
 }
 
 func expandCampaign(specPath string, args []string) int {
 	fs := flag.NewFlagSet("campaign expand", flag.ExitOnError)
 	fs.Parse(args)
-	c, code := load(specPath)
+	c, code := load(specPath, 0)
 	if code != 0 {
 		return code
 	}
@@ -167,7 +184,7 @@ func expandCampaign(specPath string, args []string) int {
 func validateCampaign(specPath string, args []string) int {
 	fs := flag.NewFlagSet("campaign validate", flag.ExitOnError)
 	fs.Parse(args)
-	c, code := load(specPath)
+	c, code := load(specPath, 0)
 	if code != 0 {
 		return code
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-quick] [-csv] [-only fig6,fig8] [-seed N] [-parallel N]
+//	figures [-quick] [-csv] [-only fig6,fig8] [-seed N] [-parallel N] [-replications N]
 //
 // Without -only it renders Table 1, Figures 3 and 5 (analytic), Figures
 // 6–13 (simulation), and the §5.1.3 mobility break-even threshold. -quick
@@ -12,7 +12,9 @@
 // paper-scale one. Simulation sweeps execute on a worker pool, one point
 // per goroutine; -parallel bounds the pool (default all cores). Output is
 // byte-identical at every pool size — scenarios are independent seeded
-// runs reassembled in point order.
+// runs reassembled in point order. -replications N (N > 1) averages every
+// simulated series over N seed-derived trials, as the paper does, adding
+// a ± column (95% CI half-width) per series.
 package main
 
 import (
@@ -74,6 +76,7 @@ func run() int {
 	only := flag.String("only", "", "comma-separated subset: table1,fig3,fig5,fig6,...,fig13,mobility-threshold")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+	replications := flag.Int("replications", 1, "seed-derived trials per sweep point; above 1 adds ± (95% CI) columns")
 	flag.Parse()
 
 	q := experiment.Full()
@@ -93,6 +96,7 @@ func run() int {
 		return 2
 	}
 	q.Seed = *seed
+	q.Replications = *replications
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -13,6 +13,12 @@
 //	spmsim -protocol spms -workload cluster -radius 25 -cluster-interest 0.1
 //	spmsim -mobility -mobility-period 50ms -mobility-fraction 0.1 -radius 20
 //	spmsim -scenario scenario.json -seed 7
+//	spmsim -protocol spms -nodes 100 -radius 20 -replications 10
+//
+// -replications N (N > 1) runs N independent trials whose seeds derive
+// deterministically from -seed, executed on the parallel sweep pool, and
+// prints mean / std / 95% CI / min / max per metric instead of the
+// single-run report.
 package main
 
 import (
@@ -48,6 +54,8 @@ func run() int {
 		seed         = flag.Int64("seed", 1, "simulation seed")
 		drain        = flag.Duration("drain", 3*time.Second, "extra simulated time after the last origination")
 		altRoutes    = flag.Int("routes", 2, "SPMS routing entries per destination")
+		replications = flag.Int("replications", 1, "independent seed-derived trials; above 1 prints mean ± 95% CI per metric")
+		parallel     = flag.Int("parallel", 0, "replicate worker pool size (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -130,11 +138,18 @@ func run() int {
 	if use("routes") {
 		sc.RouteAlternatives = *altRoutes
 	}
+	if use("replications") {
+		sc.Replications = *replications
+	}
 
 	// Fill defaults before running so the printed scenario line shows the
 	// values actually simulated (Run would apply them anyway; WithDefaults
 	// is idempotent).
 	sc = sc.WithDefaults()
+
+	if experiment.Replications(sc) > 1 {
+		return runReplicated(sc, *parallel)
+	}
 
 	start := time.Now()
 	res, err := experiment.Run(sc)
@@ -160,6 +175,33 @@ func run() int {
 	if sc.Protocol == experiment.SPMS {
 		fmt.Printf("routing:   DBF rounds=%d vector-broadcasts=%d mobility-events=%d\n",
 			res.DBFRounds, res.DBFBroadcasts, res.MobilityEvents)
+	}
+	return 0
+}
+
+// runReplicated runs the scenario's seed-derived trials through the
+// replicated sweep pool and prints per-metric statistics.
+func runReplicated(sc experiment.Scenario, workers int) int {
+	start := time.Now()
+	reps, err := experiment.ReplicatedSweep{
+		Points:  []experiment.Scenario{sc},
+		Workers: workers,
+	}.Execute()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+		return 1
+	}
+	wall := time.Since(start).Round(time.Millisecond)
+
+	fmt.Printf("scenario: %s %s nodes=%d radius=%.1fm packets/node=%d failures=%v mobility=%v seed=%d replications=%d\n",
+		sc.Protocol, sc.Workload, sc.Nodes, sc.ZoneRadius, sc.PacketsPerNode, sc.Failures, sc.Mobility, sc.Seed,
+		experiment.Replications(sc))
+	fmt.Printf("wall clock: %v\n\n", wall)
+
+	names := experiment.ResultMetricNames()
+	fmt.Printf("%-22s %14s %14s %14s %14s %14s\n", "metric", "mean", "std", "ci95", "min", "max")
+	for i, s := range experiment.AggregateResults(reps[0]) {
+		fmt.Printf("%-22s %14.4f %14.4f %14.4f %14.4f %14.4f\n", names[i], s.Mean, s.Std, s.CI95, s.Min, s.Max)
 	}
 	return 0
 }

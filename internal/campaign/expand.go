@@ -49,6 +49,16 @@ type Campaign struct {
 	Points    []Point
 }
 
+// Replications returns the per-point trial count, at least 1. It is
+// uniform across the grid: the spec-level field (or the base scenario's)
+// applies to every point at expansion.
+func (c *Campaign) Replications() int {
+	if len(c.Points) == 0 {
+		return 1
+	}
+	return experiment.Replications(c.Points[0].Scenario)
+}
+
 // axisValue is one value of one axis: its display label and the scenario
 // mutation it represents.
 type axisValue struct {
@@ -186,6 +196,9 @@ func durationValues(vs []time.Duration, set func(*experiment.Scenario, time.Dura
 // Expand materializes the spec's grid. Every returned point is fully
 // defaulted (experiment.Scenario.WithDefaults) and validated.
 func Expand(spec Spec) (*Campaign, error) {
+	if spec.Replications < 0 {
+		return nil, fmt.Errorf("campaign %q: negative replications %d", spec.Name, spec.Replications)
+	}
 	bs, err := spec.bindings()
 	if err != nil {
 		return nil, err
@@ -196,6 +209,14 @@ func Expand(spec Spec) (*Campaign, error) {
 		if total > MaxPoints {
 			return nil, fmt.Errorf("campaign %q: grid exceeds %d points", spec.Name, MaxPoints)
 		}
+	}
+	reps := spec.Replications
+	if reps == 0 {
+		reps = spec.Base.Replications
+	}
+	if reps > 1 && total > MaxPoints/reps {
+		return nil, fmt.Errorf("campaign %q: grid of %d points × %d replications exceeds %d trials",
+			spec.Name, total, reps, MaxPoints)
 	}
 
 	c := &Campaign{Spec: spec, Points: make([]Point, 0, total)}
@@ -213,6 +234,9 @@ func Expand(spec Spec) (*Campaign, error) {
 			params[j] = Param{b.name, v.label}
 		}
 		sc = sc.WithDefaults()
+		if spec.Replications != 0 {
+			sc.Replications = spec.Replications
+		}
 		p := Point{Index: i, Params: params, Scenario: sc}
 		if err := sc.Validate(); err != nil {
 			return nil, fmt.Errorf("campaign %q: point %d (%s): %w", spec.Name, i, p.ParamsString(), err)

@@ -1,9 +1,12 @@
-// run.go executes an expanded campaign through experiment.Sweep and
-// streams finished points to the sinks. The sweep's OnPoint callback
-// delivers completions serialized but possibly out of point order; the
-// runner buffers them and flushes the contiguous prefix, so sinks always
-// observe index order and their output is byte-identical at every pool
-// size — streaming without giving up the ordered-reassembly contract.
+// run.go executes an expanded campaign through the replicated sweep
+// engine and streams finished points to the sinks. The sweep's OnPoint
+// callback delivers completions serialized but possibly out of point
+// order; the runner buffers them and flushes the contiguous prefix, so
+// sinks always observe index order and their output is byte-identical at
+// every pool size — streaming without giving up the ordered-reassembly
+// contract. Unreplicated points flow to Sink.Point exactly as before;
+// replicated points (spec replications > 1) flow to Sink.Aggregate with
+// their full replicate vector and per-metric statistics.
 package campaign
 
 import (
@@ -16,24 +19,30 @@ import (
 // RunOptions configures campaign execution.
 type RunOptions struct {
 	// Workers bounds the sweep pool; zero or negative means one per core.
+	// Replicates are independent work units, so a replicated campaign
+	// parallelizes across points × replications.
 	Workers int
 	// Sinks receive every finished point in index order. The runner calls
 	// Begin before the first point and Close after the last, including on
 	// failure (to flush partial output).
 	Sinks []Sink
-	// Run overrides the per-point executor (tests); nil means
+	// Run overrides the per-trial executor (tests); nil means
 	// experiment.Run.
 	Run func(experiment.Scenario) (experiment.Result, error)
 }
 
-// Run executes every point and returns the results in point order; sinks
-// have already received the full stream when it returns nil error.
-func (c *Campaign) Run(opts RunOptions) ([]experiment.Result, error) {
+// Run executes every trial and returns the per-point replicate vectors in
+// point order — results[i][r] is replicate r of point i, a single-element
+// slice for unreplicated campaigns. Sinks have already received the full
+// stream when it returns a nil error.
+func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	for i, s := range opts.Sinks {
 		if err := s.Begin(c); err != nil {
-			// Close what was already begun so buffered output (CSV
-			// headers) is flushed — the documented Begin/Close contract.
-			for _, begun := range opts.Sinks[:i] {
+			// Close every sink through the failing one: its Begin may have
+			// buffered partial output (e.g. a CSV header) that must be
+			// flushed — the documented "Close after the last, including on
+			// failure" contract.
+			for _, begun := range opts.Sinks[:i+1] {
 				begun.Close()
 			}
 			return nil, err
@@ -44,23 +53,30 @@ func (c *Campaign) Run(opts RunOptions) ([]experiment.Result, error) {
 	for i, p := range c.Points {
 		scenarios[i] = p.Scenario
 	}
+	replicated := c.Replications() > 1
 
 	// Ordered streaming: OnPoint calls are serialized by the sweep, so
 	// this state needs no lock of its own. A sink error propagates back
 	// through OnPoint's return, aborting the sweep instead of letting the
 	// remaining points simulate into a dead sink.
-	pending := make(map[int]experiment.Result)
+	pending := make(map[int][]experiment.Result)
 	next := 0
-	onPoint := func(i int, _ experiment.Scenario, res experiment.Result) error {
-		pending[i] = res
+	onPoint := func(i int, _ experiment.Scenario, reps []experiment.Result) error {
+		pending[i] = reps
 		for {
-			r, ok := pending[next]
+			rs, ok := pending[next]
 			if !ok {
 				return nil
 			}
 			delete(pending, next)
 			for _, s := range opts.Sinks {
-				if err := s.Point(c.Points[next], r); err != nil {
+				var err error
+				if replicated {
+					err = s.Aggregate(c.Points[next], NewAggregate(rs))
+				} else {
+					err = s.Point(c.Points[next], rs[0])
+				}
+				if err != nil {
 					return err
 				}
 			}
@@ -68,7 +84,7 @@ func (c *Campaign) Run(opts RunOptions) ([]experiment.Result, error) {
 		}
 	}
 
-	results, err := experiment.Sweep{
+	results, err := experiment.ReplicatedSweep{
 		Points:  scenarios,
 		Run:     opts.Run,
 		Workers: opts.Workers,

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -30,6 +31,13 @@ type Spec struct {
 	Description string              `json:"description,omitempty"`
 	Base        experiment.Scenario `json:"base"`
 	Axes        Axes                `json:"axes"`
+
+	// Replications replicates every grid point over N seed-derived trials
+	// (experiment.ReplicateSeed) and switches the sinks to aggregate
+	// records (DESIGN.md §6.1). 0 and 1 both mean single trials with the
+	// pre-replication record format. Overrides the base scenario's
+	// replications field when set.
+	Replications int `json:"replications,omitempty"`
 }
 
 // Axes lists every sweepable parameter. Field order here IS the canonical
@@ -143,11 +151,25 @@ func (a *FloatAxis) UnmarshalJSON(data []byte) error {
 	if *r.To < *r.From {
 		return fmt.Errorf("campaign: float axis range [%g, %g] is empty", *r.From, *r.To)
 	}
-	if span := (*r.To - *r.From) / r.Step; span >= MaxPoints {
+	ratio := (*r.To - *r.From) / r.Step
+	if ratio >= MaxPoints {
 		return fmt.Errorf("campaign: float axis: range expands to over %d values (max %d)", MaxPoints, MaxPoints)
 	}
 	// A relative epsilon keeps `to` itself in the grid despite rounding.
-	n := int((*r.To-*r.From)/r.Step + 1e-9)
+	// The representation error of the endpoints scales with their
+	// magnitude — ulp(to) can rival the step for large-magnitude ranges —
+	// so the tolerance is relative to both the step ratio (division
+	// rounding, generous 1e-12 factor) and the endpoints measured in
+	// steps (a few ulps: 4e-16 ≈ 2 machine epsilons per endpoint). Both
+	// factors sit orders of magnitude above the true rounding error yet
+	// orders of magnitude below any genuine sub-step remainder, so `to`
+	// survives rounding without ever minting a value beyond it; the cap
+	// is a backstop for astronomically ill-conditioned grids.
+	tol := 1e-12*ratio + 4e-16*(math.Abs(*r.From)+math.Abs(*r.To))/r.Step
+	if tol > 0.25 {
+		tol = 0.25
+	}
+	n := int(ratio + tol)
 	for i := 0; i <= n; i++ {
 		a.Values = append(a.Values, *r.From+float64(i)*r.Step)
 	}

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -103,5 +105,50 @@ func TestFloatRangeIncludesUpperBound(t *testing.T) {
 	got := spec.Axes.ZoneRadius.Values
 	if len(got) != 3 {
 		t.Fatalf("0.1..0.3 step 0.1 expanded to %v, want 3 values (upper bound kept despite float rounding)", got)
+	}
+}
+
+// TestFloatRangeEndpointEpsilon is the regression suite for the range
+// epsilon: it must be relative to the endpoint magnitudes (ulp(to) can
+// rival the step on large-magnitude grids, where the old absolute 1e-9
+// silently dropped `to`) while neither dropping nor inventing values on
+// from-zero and 0.1-step grids.
+func TestFloatRangeEndpointEpsilon(t *testing.T) {
+	cases := []struct {
+		name           string
+		from, to, step float64
+		want           int     // value count
+		last           float64 // expected last value
+		lastTol        float64 // absolute tolerance on the last value
+	}{
+		// ulp(1e9) ≈ 1.2e-7, so (to-from)/step lands at 2.99999952…: far
+		// below the old absolute epsilon's reach, and `to` was dropped.
+		{"large magnitude 0.1-step", 1e9, 1e9 + 0.3, 0.1, 4, 1e9 + 0.3, 1e-6},
+		{"large magnitude mid-scale", 12345678.9, 12345679.2, 0.1, 4, 12345679.2, 1e-6},
+		{"from zero 0.1-step", 0, 0.7, 0.1, 8, 0.7, 1e-12},
+		{"from zero exact", 0, 30, 5, 7, 30, 0},
+		{"non-multiple span keeps floor", 0, 0.65, 0.1, 7, 0.6, 1e-12},
+		{"large magnitude non-multiple", 1e9, 1e9 + 0.35, 0.1, 4, 1e9 + 0.3, 1e-6},
+		// At 1e12 the magnitude-scaled tolerance is ~0.008 steps; a genuine
+		// 0.8-step remainder must still floor, not round up past `to`.
+		{"huge magnitude keeps floor", 1e12, 1e12 + 0.38, 0.1, 4, 1e12 + 0.3, 1e-3},
+		{"huge magnitude endpoint kept", 1e12, 1e12 + 0.3, 0.1, 4, 1e12 + 0.3, 1e-3},
+		{"single value", 2.5, 2.5, 1, 1, 2.5, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var a FloatAxis
+			in := fmt.Sprintf(`{"from":%.17g,"to":%.17g,"step":%.17g}`, tc.from, tc.to, tc.step)
+			if err := a.UnmarshalJSON([]byte(in)); err != nil {
+				t.Fatalf("UnmarshalJSON(%s): %v", in, err)
+			}
+			if len(a.Values) != tc.want {
+				t.Fatalf("%s expanded to %d values %v, want %d", in, len(a.Values), a.Values, tc.want)
+			}
+			last := a.Values[len(a.Values)-1]
+			if math.Abs(last-tc.last) > tc.lastTol {
+				t.Fatalf("%s last value %v, want %v (±%g)", in, last, tc.last, tc.lastTol)
+			}
+		})
 	}
 }

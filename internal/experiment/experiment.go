@@ -116,6 +116,13 @@ type Scenario struct {
 	// Run control.
 	Seed  int64         `json:"seed,omitempty"`
 	Drain time.Duration `json:"drain,omitempty"` // extra simulated time after the last origination
+
+	// Replications is how many independent trials this scenario stands
+	// for: replicate i runs with ReplicateSeed(Seed, i) and everything
+	// else identical. 0 and 1 both mean a single trial (exactly the
+	// pre-replication behavior); Run executes one trial regardless — the
+	// fan-out lives in ReplicatedSweep (replicate.go).
+	Replications int `json:"replications,omitempty"`
 }
 
 // Defaults used when a Scenario leaves fields zero.
@@ -213,6 +220,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.Drain < 0 {
 		return fmt.Errorf("experiment: negative drain %v", s.Drain)
+	}
+	if s.Replications < 0 {
+		return fmt.Errorf("experiment: negative replications %d", s.Replications)
 	}
 	return nil
 }

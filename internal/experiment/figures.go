@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mac"
 	"repro/internal/packet"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -84,6 +85,12 @@ type Quality struct {
 	Radii          []float64 // x-axis for Figures 7, 9, 11, 12, 13
 	Drain          time.Duration
 	Seed           int64
+
+	// Replications is how many seed-derived trials each sweep point runs
+	// (see ReplicateSeed); 0 or 1 means single trials, the paper's
+	// configurations' default. Above 1 every simulated figure gains a ±
+	// column per series: the 95% CI half-width across replicates.
+	Replications int
 }
 
 // Full is the paper-scale configuration: 10 packets per node, fields up to
@@ -134,7 +141,7 @@ func Quick() Quality {
 type Runner struct {
 	q       Quality
 	workers int
-	cache   map[Scenario]Result
+	cache   map[Scenario][]Result // replicate vectors, keyed by the replicated scenario
 }
 
 // NewRunner builds a memoizing runner at the given quality with a worker
@@ -147,13 +154,14 @@ func NewRunner(q Quality) *Runner {
 // size; workers <= 0 means one per core. workers == 1 reproduces the serial
 // execution path (the output is byte-identical either way).
 func NewRunnerWorkers(q Quality, workers int) *Runner {
-	return &Runner{q: q, workers: workers, cache: make(map[Scenario]Result)}
+	return &Runner{q: q, workers: workers, cache: make(map[Scenario][]Result)}
 }
 
 // results executes one batch of scenarios: cache hits are recalled, distinct
-// misses run through the sweep pool, and the returned slice matches points
-// index for index.
-func (r *Runner) results(points []Scenario) ([]Result, error) {
+// misses run through the replicated sweep pool (each point's trials are
+// independent work units), and the returned slice matches points index for
+// index — each entry the point's replicate vector.
+func (r *Runner) results(points []Scenario) ([][]Result, error) {
 	var missing []Scenario
 	seen := make(map[Scenario]bool)
 	for _, sc := range points {
@@ -163,7 +171,7 @@ func (r *Runner) results(points []Scenario) ([]Result, error) {
 		}
 	}
 	if len(missing) > 0 {
-		res, err := (Sweep{Points: missing, Workers: r.workers}).Execute()
+		res, err := (ReplicatedSweep{Points: missing, Workers: r.workers}).Execute()
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +179,7 @@ func (r *Runner) results(points []Scenario) ([]Result, error) {
 			r.cache[sc] = res[i]
 		}
 	}
-	out := make([]Result, len(points))
+	out := make([][]Result, len(points))
 	for i, sc := range points {
 		out[i] = r.cache[sc]
 	}
@@ -186,18 +194,22 @@ func pairPoints(base Scenario) []Scenario {
 	return []Scenario{spms, spin}
 }
 
-// pair executes the scenario under SPMS and SPIN.
+// pair executes the scenario under SPMS and SPIN, returning each side's
+// first replicate (the base-seed trial).
 func (r *Runner) pair(base Scenario) (spms, spin Result, err error) {
 	res, err := r.results(pairPoints(base))
 	if err != nil {
 		return Result{}, Result{}, err
 	}
-	return res[0], res[1], nil
+	return res[0][0], res[1][0], nil
 }
 
 // sweepTable is the shared figure harness: it expands every x-axis sample
 // into its scenario group, executes the whole grid as one parallel batch,
-// and assembles one row per sample from that row's results.
+// and assembles one row per sample from that row's results. With
+// replications above 1 the cells function is applied once per replicate —
+// replicate k pairs every group member's k-th trial, so the series share
+// seeds within a replicate — and each column becomes (mean, ± 95% CI).
 func (r *Runner) sweepTable(t Table, xs []float64,
 	group func(x float64) []Scenario,
 	cells func(res []Result) []float64) (Table, error) {
@@ -212,12 +224,56 @@ func (r *Runner) sweepTable(t Table, xs []float64,
 	if err != nil {
 		return Table{}, fmt.Errorf("%s: %w", t.ID, err)
 	}
+	reps := 1
+	if r.q.Replications > 1 {
+		reps = r.q.Replications
+	}
+	if reps > 1 {
+		t.Columns = ciColumns(t.Columns)
+		note := fmt.Sprintf("± columns are 95%% CI half-widths over %d replicates", reps)
+		if t.Notes == "" {
+			t.Notes = note
+		} else {
+			t.Notes += "; " + note
+		}
+	}
 	off := 0
 	for i, x := range xs {
-		t.Rows = append(t.Rows, TableRow{X: x, Cells: cells(res[off : off+counts[i]])})
+		g := res[off : off+counts[i]]
+		if reps == 1 {
+			row := make([]Result, len(g))
+			for j := range g {
+				row[j] = g[j][0]
+			}
+			t.Rows = append(t.Rows, TableRow{X: x, Cells: cells(row)})
+		} else {
+			perRep := make([][]float64, reps)
+			for k := 0; k < reps; k++ {
+				rk := make([]Result, len(g))
+				for j := range g {
+					rk[j] = g[j][k]
+				}
+				perRep[k] = cells(rk)
+			}
+			cols := stats.DescribeColumns(perRep)
+			row := make([]float64, 0, 2*len(cols))
+			for _, c := range cols {
+				row = append(row, c.Mean, c.CI95)
+			}
+			t.Rows = append(t.Rows, TableRow{X: x, Cells: row})
+		}
 		off += counts[i]
 	}
 	return t, nil
+}
+
+// ciColumns interleaves a ± column after every series column.
+func ciColumns(cols []string) []string {
+	out := make([]string, 0, 2*len(cols))
+	for _, c := range cols {
+		out = append(out, c, c+" ±")
+	}
+	return out
 }
 
 // nodeAxis converts the quality's node counts to an x-axis.
@@ -313,6 +369,7 @@ func baseScenario(q Quality, nodes int, radius float64) Scenario {
 		PacketsPerNode: q.PacketsPerNode,
 		Seed:           q.Seed,
 		Drain:          q.Drain,
+		Replications:   q.Replications,
 	}
 }
 
@@ -513,11 +570,27 @@ func (r *Runner) MobilityThreshold() (breakEven float64, dbfEnergy float64, err 
 	if err != nil {
 		return 0, 0, err
 	}
-	spms, spin, mres := res[0], res[1], res[2]
-	if mres.MobilityEvents > 0 {
-		dbfEnergy = mres.CtrlEnergy / float64(mres.MobilityEvents)
+	// Replicate means (a single replicate's mean is the value itself, so
+	// the unreplicated path is unchanged). The per-event DBF energy is
+	// averaged per replicate before averaging across them.
+	spmsE := meanMetric(res[0], func(r Result) float64 { return r.EnergyPerPacket })
+	spinE := meanMetric(res[1], func(r Result) float64 { return r.EnergyPerPacket })
+	dbfEnergy = meanMetric(res[2], func(r Result) float64 {
+		if r.MobilityEvents == 0 {
+			return 0
+		}
+		return r.CtrlEnergy / float64(r.MobilityEvents)
+	})
+	return analysis.BreakEvenPackets(dbfEnergy, spinE, spmsE), dbfEnergy, nil
+}
+
+// meanMetric averages one metric over a replicate vector.
+func meanMetric(rs []Result, metric func(Result) float64) float64 {
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = metric(r)
 	}
-	return analysis.BreakEvenPackets(dbfEnergy, spin.EnergyPerPacket, spms.EnergyPerPacket), dbfEnergy, nil
+	return stats.Describe(vals).Mean
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

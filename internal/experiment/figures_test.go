@@ -152,6 +152,56 @@ func TestSimFiguresShapes(t *testing.T) {
 	})
 }
 
+// TestFigureReplications checks the ± layer: above one replication every
+// series gains a CI column and the means stay positive; at exactly one
+// replication the table is byte-identical to the unreplicated run.
+func TestFigureReplications(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figures are slow")
+	}
+	q := tiny()
+	q.NodeCounts = []int{16}
+
+	q.Replications = 2
+	tab, err := NewRunner(q).Figure8()
+	if err != nil {
+		t.Fatalf("Figure8 replicated: %v", err)
+	}
+	wantCols := []string{"SPMS", "SPMS ±", "SPIN", "SPIN ±"}
+	if len(tab.Columns) != 4 {
+		t.Fatalf("columns = %v, want %v", tab.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if tab.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", tab.Columns, wantCols)
+		}
+	}
+	if !strings.Contains(tab.Notes, "95% CI") || !strings.Contains(tab.Notes, "2 replicates") {
+		t.Fatalf("notes missing the CI legend: %q", tab.Notes)
+	}
+	row := tab.Rows[0]
+	if len(row.Cells) != 4 || row.Cells[0] <= 0 || row.Cells[2] <= 0 {
+		t.Fatalf("replicated row malformed: %+v", row)
+	}
+	if row.Cells[1] < 0 || row.Cells[3] < 0 {
+		t.Fatalf("negative CI half-width: %+v", row)
+	}
+
+	q.Replications = 1
+	one, err := NewRunner(q).Figure8()
+	if err != nil {
+		t.Fatalf("Figure8 single: %v", err)
+	}
+	q.Replications = 0
+	zero, err := NewRunner(q).Figure8()
+	if err != nil {
+		t.Fatalf("Figure8 unreplicated: %v", err)
+	}
+	if one.Format() != zero.Format() || one.CSV() != zero.CSV() {
+		t.Fatalf("replications=1 table diverged from the unreplicated table:\n--- replications=1\n%s\n--- unset\n%s", one.Format(), zero.Format())
+	}
+}
+
 func TestTableFormatAndCSV(t *testing.T) {
 	tab := Table{
 		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",

@@ -200,12 +200,19 @@ func (s Scenario) MarshalJSON() ([]byte, error) {
 		Drain          FlexDuration     `json:"drain,omitempty"`
 		FailureCfg     *faultConfigJSON `json:"failureConfig,omitempty"`
 		SPMSConfig     *coreConfigJSON  `json:"spmsConfig,omitempty"`
+		Replications   int              `json:"replications,omitempty"`
 		*alias
 	}{
 		MeanArrival:    FlexDuration(s.MeanArrival),
 		MobilityPeriod: FlexDuration(s.MobilityPeriod),
 		Drain:          FlexDuration(s.Drain),
 		alias:          (*alias)(&s),
+	}
+	// 0 and 1 both mean "single trial"; normalize to the omitted form so
+	// an explicit replications:1 spec serializes byte-identically to one
+	// that never mentions replication.
+	if s.Replications > 1 {
+		aux.Replications = s.Replications
 	}
 	if s.FailureCfg != (fault.Config{}) {
 		aux.FailureCfg = &faultConfigJSON{

@@ -33,6 +33,7 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 		CarrierSense:        true,
 		Seed:                42,
 		Drain:               3 * time.Second,
+		Replications:        5,
 	}
 	data, err := json.Marshal(sc)
 	if err != nil {
@@ -45,9 +46,25 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 	if back != sc {
 		t.Fatalf("round trip diverged:\nin:   %+v\nout:  %+v\njson: %s", sc, back, data)
 	}
-	for _, frag := range []string{`"protocol":"spms"`, `"workload":"clustered"`, `"drain":"3s"`, `"meanInterArrival":"50ms"`} {
+	for _, frag := range []string{`"protocol":"spms"`, `"workload":"clustered"`, `"drain":"3s"`, `"meanInterArrival":"50ms"`, `"replications":5`} {
 		if !strings.Contains(string(data), frag) {
 			t.Fatalf("wire form missing %s:\n%s", frag, data)
+		}
+	}
+}
+
+// TestScenarioJSONReplicationsNormalized checks 0 and 1 — both meaning a
+// single trial — serialize identically: the field is omitted, so an
+// explicit replications:1 spec round-trips byte-identically to one that
+// never mentions replication.
+func TestScenarioJSONReplicationsNormalized(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		data, err := json.Marshal(Scenario{Protocol: SPMS, Workload: AllToAll, Nodes: 25, ZoneRadius: 20, Replications: n})
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if strings.Contains(string(data), "replications") {
+			t.Fatalf("replications=%d leaked into the wire form: %s", n, data)
 		}
 	}
 }

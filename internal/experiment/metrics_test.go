@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResultMetricsAlignment pins names and values to the same order and
+// the documented units (delays milliseconds, energies microjoules).
+func TestResultMetricsAlignment(t *testing.T) {
+	names := ResultMetricNames()
+	r := Result{
+		TotalEnergy:     100,
+		EnergyPerPacket: 10,
+		CtrlEnergy:      5,
+		MeanDelay:       2 * time.Millisecond,
+		P95Delay:        4 * time.Millisecond,
+		MaxDelay:        8 * time.Millisecond,
+		Items:           7,
+		Deliveries:      6,
+		Expected:        8,
+		DeliveryRate:    0.75,
+		Timeouts:        1, Failovers: 2, Drops: 3, Duplicates: 4,
+		SentADV: 11, SentREQ: 12, SentDATA: 13,
+		DBFRounds: 21, DBFBroadcasts: 22, MobilityEvents: 23,
+		FailuresInjected: 24,
+	}
+	vals := r.MetricValues()
+	if len(vals) != len(names) {
+		t.Fatalf("%d values for %d names", len(vals), len(names))
+	}
+	want := map[string]float64{
+		"totalEnergy_uJ":   100,
+		"meanDelay_ms":     2,
+		"p95Delay_ms":      4,
+		"maxDelay_ms":      8,
+		"deliveryRate":     0.75,
+		"sentDATA":         13,
+		"failuresInjected": 24,
+	}
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	for name, v := range want {
+		i, ok := idx[name]
+		if !ok {
+			t.Fatalf("metric %q missing from names %v", name, names)
+		}
+		if vals[i] != v {
+			t.Fatalf("metric %q = %v, want %v", name, vals[i], v)
+		}
+	}
+
+	// Callers may mutate the returned name slice without corrupting the
+	// canonical order.
+	names[0] = "clobbered"
+	if ResultMetricNames()[0] != "totalEnergy_uJ" {
+		t.Fatal("ResultMetricNames returns a shared slice")
+	}
+}
+
+// TestAggregateResults checks per-metric aggregation across replicates.
+func TestAggregateResults(t *testing.T) {
+	sums := AggregateResults([]Result{
+		{TotalEnergy: 10, Items: 2},
+		{TotalEnergy: 30, Items: 2},
+	})
+	if len(sums) != len(ResultMetricNames()) {
+		t.Fatalf("%d summaries, want %d", len(sums), len(ResultMetricNames()))
+	}
+	if sums[0].Mean != 20 || sums[0].Min != 10 || sums[0].Max != 30 || sums[0].N != 2 {
+		t.Fatalf("totalEnergy summary: %+v", sums[0])
+	}
+	if sums[0].Std == 0 || sums[0].CI95 == 0 {
+		t.Fatalf("variance not populated: %+v", sums[0])
+	}
+}

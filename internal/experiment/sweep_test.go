@@ -151,6 +151,85 @@ func TestSweepOnPointErrorAborts(t *testing.T) {
 	}
 }
 
+// TestSweepOnPointErrorStopsClaiming pins the parallel abort contract
+// exactly: after a callback error, workers stop claiming points. The
+// second worker's points are gated on the failure having happened, so the
+// run count is deterministic — point 0 (whose delivery errors) and point 1
+// (in flight when it does) execute; nothing else may.
+func TestSweepOnPointErrorStopsClaiming(t *testing.T) {
+	points := make([]Scenario, 24)
+	for i := range points {
+		points[i] = Scenario{Nodes: i + 1}
+	}
+	boom := errors.New("sink boom")
+	aborted := make(chan struct{})
+
+	var runs atomic.Int64
+	stub := func(sc Scenario) (Result, error) {
+		runs.Add(1)
+		if sc.Nodes > 1 {
+			// Hold every later point until the sink has already failed, so
+			// any claim after this one is provably post-abort.
+			<-aborted
+		}
+		return Result{Items: sc.Nodes}, nil
+	}
+	cb := func(i int, _ Scenario, _ Result) error {
+		if i == 0 {
+			close(aborted)
+			return boom
+		}
+		return nil
+	}
+
+	_, err := (Sweep{Points: points, Run: stub, Workers: 2, OnPoint: cb}).Execute()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink boom", err)
+	}
+	// Points 0 (whose delivery errors) and, at most, point 1 (claimed
+	// while 0 ran) execute; every later point would have unblocked on
+	// `aborted` and run, so any third run means claiming continued.
+	if got := runs.Load(); got < 1 || got > 2 {
+		t.Fatalf("%d points ran after the sink died, want 1 or 2 — workers kept claiming", got)
+	}
+}
+
+// TestSweepPointErrorBeatsOnPointError pins the precedence contract under
+// Workers > 1: when a point failure and a sink failure both occur in one
+// parallel sweep, Execute deterministically reports the point's error no
+// matter which lands first. Channel gating makes both failures happen in
+// every schedule: the callback for point 0 cannot return its error until
+// point 1's run has started failing, and point 1 is always claimed
+// because no failure can be recorded before then. (Serial sweeps stop at
+// the first failure in point order, so the race only exists in parallel.)
+func TestSweepPointErrorBeatsOnPointError(t *testing.T) {
+	pointErr := errors.New("point boom")
+	sinkErr := errors.New("sink boom")
+	for try := 0; try < 25; try++ {
+		point1Started := make(chan struct{})
+		stub := func(sc Scenario) (Result, error) {
+			if sc.Nodes == 2 {
+				close(point1Started)
+				return Result{}, pointErr
+			}
+			return Result{Items: sc.Nodes}, nil
+		}
+		cb := func(i int, _ Scenario, _ Result) error {
+			<-point1Started
+			return sinkErr
+		}
+		_, err := (Sweep{
+			Points:  []Scenario{{Nodes: 1}, {Nodes: 2}},
+			Run:     stub,
+			Workers: 2,
+			OnPoint: cb,
+		}).Execute()
+		if !errors.Is(err, pointErr) {
+			t.Fatalf("try %d: err = %v, want the point error to take precedence over the sink error", try, err)
+		}
+	}
+}
+
 // TestSweepParallelDeterminism is the tentpole's contract: Figure8-class
 // sweeps produce byte-identical tables at workers=1 and workers=8. Figure10
 // adds failure injection and Figure13 the clustered workload, so the

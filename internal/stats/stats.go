@@ -1,0 +1,107 @@
+// Package stats summarizes small replicate samples: the mean, sample
+// standard deviation, 95% confidence half-width, minimum, and maximum the
+// replication engine reports per metric. It depends on nothing but the
+// standard library, so every layer — experiment, campaign, the commands —
+// can use it without import cycles.
+//
+// All computations are order-deterministic two-pass formulas over the
+// input slice, so summaries of the same replicate vector are bit-identical
+// regardless of how the replicates were scheduled — the property the
+// byte-identical-at-any-pool-size contract of campaign output relies on.
+package stats
+
+import "math"
+
+// Summary describes one metric across a replicate sample.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`  // sample standard deviation (n-1); 0 when N < 2
+	CI95 float64 `json:"ci95"` // 95% confidence half-width of the mean (Student t)
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Describe summarizes xs. An empty sample yields the zero Summary; a
+// single observation has zero Std and CI95.
+func Describe(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = TCritical95(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
+
+// DescribeColumns summarizes each column of rows: row r holds the metric
+// vector of replicate r, and the returned slice has one Summary per
+// column. Short rows contribute only to the columns they have.
+func DescribeColumns(rows [][]float64) []Summary {
+	width := 0
+	for _, r := range rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	out := make([]Summary, width)
+	col := make([]float64, 0, len(rows))
+	for c := range out {
+		col = col[:0]
+		for _, r := range rows {
+			if c < len(r) {
+				col = append(col, r[c])
+			}
+		}
+		out[c] = Describe(col)
+	}
+	return out
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom (index df-1).
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom: exact table values through df = 30, then the
+// conventional interval anchors (40, 60, 120) and the normal limit 1.960.
+// Non-positive df returns the df = 1 value.
+func TCritical95(df int) float64 {
+	switch {
+	case df <= 0:
+		return tTable95[0]
+	case df <= len(tTable95):
+		return tTable95[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}

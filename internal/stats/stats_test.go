@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescribeKnownSample(t *testing.T) {
+	// 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population variance 4, sample
+	// variance 32/7.
+	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Describe: %+v", s)
+	}
+	wantStd := math.Sqrt(32.0 / 7.0)
+	if !approx(s.Std, wantStd, 1e-12) {
+		t.Fatalf("Std = %v, want %v", s.Std, wantStd)
+	}
+	wantCI := 2.365 * wantStd / math.Sqrt(8) // t(df=7) = 2.365
+	if !approx(s.CI95, wantCI, 1e-12) {
+		t.Fatalf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestDescribeDegenerateSamples(t *testing.T) {
+	if s := Describe(nil); s != (Summary{}) {
+		t.Fatalf("empty sample: %+v", s)
+	}
+	s := Describe([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.CI95 != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("single sample: %+v", s)
+	}
+	s = Describe([]float64{2, 2, 2})
+	if s.Std != 0 || s.CI95 != 0 || s.Mean != 2 {
+		t.Fatalf("constant sample: %+v", s)
+	}
+}
+
+func TestDescribeColumns(t *testing.T) {
+	cols := DescribeColumns([][]float64{{1, 10}, {3, 30}})
+	if len(cols) != 2 {
+		t.Fatalf("%d columns, want 2", len(cols))
+	}
+	if cols[0].Mean != 2 || cols[1].Mean != 20 {
+		t.Fatalf("column means: %+v", cols)
+	}
+	if cols[0].N != 2 || cols[1].Min != 10 || cols[1].Max != 30 {
+		t.Fatalf("column summaries: %+v", cols)
+	}
+	if len(DescribeColumns(nil)) != 0 {
+		t.Fatal("no rows should yield no columns")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{0, 12.706}, {1, 12.706}, {4, 2.776}, {30, 2.042},
+		{31, 2.021}, {50, 2.000}, {100, 1.980}, {1000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Fatalf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
