@@ -1,0 +1,40 @@
+# Developer entry points. The repository is plain `go build`/`go test`;
+# these targets just bundle the flags the CI pipeline and the perf
+# trajectory (BENCH_<date>.json snapshots) standardize on.
+
+GO ?= go
+DATE := $(shell date +%F)
+
+.PHONY: all build test race bench bench-smoke figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the full benchmark suite once (-benchtime=1x -benchmem) and
+# writes machine-readable results to BENCH_<date>.json. Commit a snapshot
+# alongside performance-affecting PRs; see DESIGN.md §7.
+bench:
+	$(GO) run ./cmd/benchjson -bench . -out BENCH_$(DATE).json
+
+# bench-smoke is the CI variant: just the topology and scheduler
+# micro-benchmarks plus a timed quick-scale campaign, written to bench.json
+# for artifact upload.
+bench-smoke:
+	$(GO) run ./cmd/benchjson \
+		-bench 'BenchmarkReachedBy|BenchmarkContenders|BenchmarkZoneNeighborsRebuild|BenchmarkScheduler' \
+		-campaign examples/campaigns/fig8.json \
+		-out bench.json
+
+figures:
+	$(GO) run ./cmd/figures -quick
+
+clean:
+	rm -f bench.json

@@ -1,0 +1,250 @@
+// Command benchjson runs the repository's benchmark suite in
+// machine-readable mode: `go test -bench <re> -benchtime 1x -benchmem`
+// across all packages, parsed into a JSON document written to
+// BENCH_<date>.json (override with -out). It seeds the perf trajectory the
+// ROADMAP calls for: commit one snapshot per optimization PR and CI uploads
+// one per run as a build artifact.
+//
+// With -campaign it additionally times a full declarative campaign (the
+// 1024-node stress grid is the intended subject) and records the wall
+// clock; -campaign-baseline records a reference wall clock from a previous
+// build next to it, so the JSON carries the measured speedup. The optional
+// -campaign-jsonl/-campaign-csv passthroughs capture the campaign's result
+// stream for byte-identity diffing against that same previous build.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                       # full suite -> BENCH_<date>.json
+//	go run ./cmd/benchjson -bench 'ReachedBy|Contenders' -out bench.json
+//	go run ./cmd/benchjson -campaign examples/campaigns/stress-1k.json \
+//	    -campaign-baseline 5160 -parallel 1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  *float64           `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *float64           `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// CampaignTiming is one timed campaign execution, with an optional baseline
+// wall clock from a previous build for the speedup ratio.
+type CampaignTiming struct {
+	Spec            string  `json:"spec"`
+	Points          int     `json:"points"`
+	Replications    int     `json:"replications"`
+	Workers         int     `json:"workers"`
+	Seconds         float64 `json:"seconds"`
+	BaselineSeconds float64 `json:"baselineSeconds,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"goVersion"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	BenchRegex string           `json:"benchRegex"`
+	Benchmarks []Benchmark      `json:"benchmarks"`
+	Campaigns  []CampaignTiming `json:"campaigns,omitempty"`
+}
+
+func main() {
+	benchRE := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	out := flag.String("out", "", `output path (default "BENCH_<date>.json")`)
+	pkgs := flag.String("pkgs", "./...", "package pattern passed to go test")
+	campaignSpec := flag.String("campaign", "", "campaign spec to run and time (optional)")
+	campaignBaseline := flag.Float64("campaign-baseline", 0, "reference wall clock in seconds for the campaign, from a previous build")
+	campaignJSONL := flag.String("campaign-jsonl", "", "write the campaign's JSONL result stream here (optional)")
+	campaignCSV := flag.String("campaign-csv", "", "write the campaign's CSV result stream here (optional)")
+	parallel := flag.Int("parallel", 0, "campaign sweep workers (0 = one per core)")
+	flag.Parse()
+
+	if *out == "" {
+		*out = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+	report := Report{
+		Date:       time.Now().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		BenchRegex: *benchRE,
+		Benchmarks: []Benchmark{},
+	}
+
+	if err := runBenchmarks(&report, *benchRE, *pkgs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *campaignSpec != "" {
+		ct, err := runCampaign(*campaignSpec, *parallel, *campaignJSONL, *campaignCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if *campaignBaseline > 0 {
+			ct.BaselineSeconds = *campaignBaseline
+			ct.Speedup = *campaignBaseline / ct.Seconds
+		}
+		report.Campaigns = append(report.Campaigns, ct)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(report)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks, %d campaigns -> %s\n",
+		len(report.Benchmarks), len(report.Campaigns), *out)
+}
+
+// runBenchmarks shells out to go test and parses the bench lines. Benchmark
+// output goes to stdout as it arrives (the log stays human-readable); the
+// parse works on the captured copy.
+func runBenchmarks(report *Report, benchRE, pkgs string) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", benchRE, "-benchtime", "1x", "-benchmem", pkgs)
+	var buf strings.Builder
+	cmd.Stdout = io.MultiWriter(os.Stdout, &buf)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	report.Benchmarks = parseBenchLines(buf.String())
+	return nil
+}
+
+// benchLine matches "BenchmarkName-8   	 100	  123 ns/op	 ..." with any
+// trailing metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBenchLines extracts every benchmark result from go test output.
+// Unparseable lines are skipped — go test interleaves status lines freely.
+func parseBenchLines(out string) []Benchmark {
+	var res []Benchmark
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations: iters,
+		}
+		// The remainder is value/unit pairs: "123 ns/op  0 B/op  4.5 spot_ratio".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				val := v
+				b.BytesPerOp = &val
+			case "allocs/op":
+				val := v
+				b.AllocsPerOp = &val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		res = append(res, b)
+	}
+	return res
+}
+
+// runCampaign executes one campaign spec through the library (no subprocess
+// — the timing excludes compilation) and returns its wall clock.
+func runCampaign(specPath string, workers int, jsonlPath, csvPath string) (CampaignTiming, error) {
+	spec, err := campaign.LoadSpec(specPath)
+	if err != nil {
+		return CampaignTiming{}, err
+	}
+	c, err := campaign.Expand(spec)
+	if err != nil {
+		return CampaignTiming{}, err
+	}
+
+	var sinks []campaign.Sink
+	var closers []io.Closer
+	addFileSink := func(path string, mk func(io.Writer) campaign.Sink) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		sinks = append(sinks, mk(f))
+		return nil
+	}
+	if err := addFileSink(jsonlPath, func(w io.Writer) campaign.Sink { return campaign.NewJSONLSink(w) }); err != nil {
+		return CampaignTiming{}, err
+	}
+	if err := addFileSink(csvPath, func(w io.Writer) campaign.Sink { return campaign.NewCSVSink(w) }); err != nil {
+		return CampaignTiming{}, err
+	}
+
+	fmt.Fprintf(os.Stderr, "benchjson: running campaign %q (%d points)...\n", c.Spec.Name, len(c.Points))
+	start := time.Now()
+	_, err = c.Run(campaign.RunOptions{Workers: workers, Sinks: sinks})
+	elapsed := time.Since(start)
+	for _, cl := range closers {
+		if cerr := cl.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return CampaignTiming{}, err
+	}
+	return CampaignTiming{
+		Spec:         specPath,
+		Points:       len(c.Points),
+		Replications: c.Replications(),
+		Workers:      workers,
+		Seconds:      elapsed.Seconds(),
+	}, nil
+}

@@ -62,7 +62,8 @@ func (s *System) Query(requester packet.NodeID, d packet.DataID) error {
 	if !s.nw.Alive(requester) {
 		return fmt.Errorf("core: query node %d is down", requester)
 	}
-	if n.has[d] {
+	it := s.ledger.Index(d)
+	if n.hasItem(it) {
 		return nil // already holds it
 	}
 
@@ -74,36 +75,36 @@ func (s *System) Query(requester packet.NodeID, d packet.DataID) error {
 	// routing state and must go through the bordercast extension.
 	if s.nw.Field().InZone(requester, d.Origin) {
 		if hops, ok := s.tables.Hops(requester, d.Origin); ok {
-			acq := n.want[d]
+			acq := n.wantFor(d, it)
 			if acq == nil {
 				acq = &acquisition{prone: d.Origin, scone: d.Origin}
-				n.want[d] = acq
+				n.setWant(d, it, acq)
 			}
 			if acq.tauDAT.Active() {
 				return nil // a request is already in flight
 			}
-			n.sendREQ(d, acq, d.Origin, hops == 1)
+			n.sendREQ(d, it, acq, d.Origin, hops == 1)
 			return nil
 		}
 	}
 
 	// Cross-zone pull: bordercast.
-	if q := n.queries[d]; q != nil && q.timer.Active() {
+	if q := n.queries[d.Key()]; q != nil && q.timer.Active() {
 		return nil // a query is already in flight
 	}
-	n.startQuery(d)
+	n.startQuery(d, it)
 	return nil
 }
 
 // startQuery issues (or re-issues) a bordercast and arms its retry timer.
-func (n *node) startQuery(d packet.DataID) {
+func (n *node) startQuery(d packet.DataID, it int) {
 	if n.queries == nil {
-		n.queries = make(map[packet.DataID]*pendingQuery)
+		n.queries = make(map[uint64]*pendingQuery)
 	}
-	q := n.queries[d]
+	q := n.queries[d.Key()]
 	if q == nil {
 		q = &pendingQuery{}
-		n.queries[d] = q
+		n.queries[d.Key()] = q
 	}
 	if q.attempts >= n.sys.cfg.MaxAttempts {
 		return // out of budget; give up silently (observable via Has)
@@ -122,17 +123,17 @@ func (n *node) startQuery(d packet.DataID) {
 	// Worst case: horizon zones out and back, each leg one border hop.
 	wait := n.sys.tauDAT(1) + 2*time.Duration(n.sys.cfg.QueryHorizon)*n.sys.hopRTT
 	q.timer = n.sys.nw.Scheduler().After(wait, func() {
-		if !n.sys.nw.Alive(n.id) || n.has[d] {
+		if !n.sys.nw.Alive(n.id) || n.hasItem(it) {
 			return
 		}
 		n.sys.nw.Counters().Timeouts++
-		n.startQuery(d)
+		n.startQuery(d, it)
 	})
 }
 
 // onQRY runs at a node receiving an inter-zone query: answer from the local
 // cache, or bordercast onward.
-func (n *node) onQRY(p packet.Packet) {
+func (n *node) onQRY(p packet.Packet, it int) {
 	key := queryKey{meta: p.Meta, requester: p.Requester, seq: p.QuerySeq}
 	if n.seenQueries == nil {
 		n.seenQueries = make(map[queryKey]bool)
@@ -142,7 +143,7 @@ func (n *node) onQRY(p packet.Packet) {
 	}
 	n.seenQueries[key] = true
 
-	if n.has[p.Meta] {
+	if n.hasItem(it) {
 		n.replyToQuery(p)
 		return
 	}

@@ -266,3 +266,25 @@ func TestQueryDefaultsApplied(t *testing.T) {
 		t.Fatalf("BorderFanout=%d, want default", fx.sys.Config().BorderFanout)
 	}
 }
+
+func TestQueryUnoriginatedItemKeepsInFlightDedup(t *testing.T) {
+	// An item that was never originated has no ledger index; its
+	// acquisition state lives in the want overflow map. Two back-to-back
+	// queries for it must behave like the DataID-keyed implementation did:
+	// the second sees the outstanding τDAT and sends nothing new.
+	fx := chainFixture(t, 3, dissem.Everyone, 31)
+	d := packet.DataID{Origin: 0, Seq: 7} // never originated
+	if err := fx.sys.Query(2, d); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	sent := fx.nw.Counters().Sent[packet.REQ]
+	if sent == 0 {
+		t.Fatal("first query for an in-zone origin sent no REQ")
+	}
+	if err := fx.sys.Query(2, d); err != nil {
+		t.Fatalf("second Query: %v", err)
+	}
+	if got := fx.nw.Counters().Sent[packet.REQ]; got != sent {
+		t.Fatalf("second query re-sent a REQ while one was in flight (%d -> %d)", sent, got)
+	}
+}

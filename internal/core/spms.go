@@ -161,13 +161,7 @@ func NewSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Inter
 	s.deriveTimeouts()
 	s.nodes = make([]*node, nw.N())
 	for i := range s.nodes {
-		n := &node{
-			sys:        s,
-			id:         packet.NodeID(i),
-			has:        make(map[packet.DataID]bool),
-			advertised: make(map[packet.DataID]bool),
-			want:       make(map[packet.DataID]*acquisition),
-		}
+		n := &node{sys: s, id: packet.NodeID(i)}
 		s.nodes[i] = n
 		nw.Bind(n.id, n)
 	}
@@ -245,8 +239,9 @@ func (s *System) Originate(src packet.NodeID, d packet.DataID) error {
 		return err
 	}
 	n := s.nodes[src]
-	n.has[d] = true
-	n.advertise(d)
+	it := s.ledger.Index(d)
+	n.setHas(it)
+	n.advertise(d, it)
 	return nil
 }
 
@@ -255,7 +250,7 @@ func (s *System) Has(id packet.NodeID, d packet.DataID) bool {
 	if id < 0 || int(id) >= len(s.nodes) {
 		panic(fmt.Sprintf("core: node id %d out of range", id))
 	}
-	return s.nodes[id].has[d]
+	return s.nodes[id].hasItem(s.ledger.Index(d))
 }
 
 // Prone returns node id's current PRONE/SCONE for d (test hook). ok is
@@ -264,8 +259,8 @@ func (s *System) Prone(id packet.NodeID, d packet.DataID) (prone, scone packet.N
 	if id < 0 || int(id) >= len(s.nodes) {
 		panic(fmt.Sprintf("core: node id %d out of range", id))
 	}
-	acq, exists := s.nodes[id].want[d]
-	if !exists {
+	acq := s.nodes[id].wantFor(d, s.ledger.Index(d))
+	if acq == nil {
 		return packet.None, packet.None, false
 	}
 	return acq.prone, acq.scone, true
@@ -285,20 +280,98 @@ type acquisition struct {
 	abandoned  bool // attempt budget exhausted; a fresh ADV restarts
 }
 
-// node is one SPMS protocol instance.
+// node is one SPMS protocol instance. Per-item state (has/advertised/want)
+// lives in flat slices indexed by the ledger's dense item index
+// (dissem.Ledger.Index): one shared map lookup resolves a packet's DataID
+// to its index, after which every state access is an indexed load — the
+// per-item maps these replace dominated the delivery-path profile at
+// campaign scale.
 type node struct {
 	sys        *System
 	id         packet.NodeID
-	has        map[packet.DataID]bool
-	advertised map[packet.DataID]bool
-	want       map[packet.DataID]*acquisition
+	has        []bool
+	advertised []bool
+	want       []*acquisition
 
-	// Inter-zone query state (§6 extension), allocated lazily.
-	queries     map[packet.DataID]*pendingQuery
+	// wantOverflow holds acquisition state for items with no ledger index
+	// (never originated — reachable only via System.Query), preserving
+	// Query's in-flight dedup for them. Allocated lazily; empty in every
+	// normal workload.
+	wantOverflow map[uint64]*acquisition
+
+	// Inter-zone query state (§6 extension), allocated lazily. queries is
+	// keyed on DataID.Key directly: query traffic is rare and may reference
+	// items that were never originated (no ledger index exists).
+	queries     map[uint64]*pendingQuery
 	seenQueries map[queryKey]bool
 }
 
 var _ network.Receiver = (*node)(nil)
+
+// item resolves d to its dense ledger index, -1 when never originated.
+func (n *node) item(d packet.DataID) int { return n.sys.ledger.Index(d) }
+
+// hasItem reports whether this node holds item it.
+func (n *node) hasItem(it int) bool { return it >= 0 && it < len(n.has) && n.has[it] }
+
+// wantFor returns the acquisition state for d (dense index it), nil when
+// none. Unregistered items (it < 0, possible only via System.Query) live
+// in the overflow map so Query keeps its in-flight dedup for them.
+func (n *node) wantFor(d packet.DataID, it int) *acquisition {
+	if it >= 0 {
+		if it < len(n.want) {
+			return n.want[it]
+		}
+		return nil
+	}
+	return n.wantOverflow[d.Key()]
+}
+
+// grow extends the per-item slices to cover item it.
+func (n *node) grow(it int) {
+	if it < len(n.has) {
+		return
+	}
+	c := n.sys.ledger.Originated()
+	n.has = dissem.GrowItems(n.has, it, c)
+	n.advertised = dissem.GrowItems(n.advertised, it, c)
+	n.want = dissem.GrowItems(n.want, it, c)
+}
+
+// setHas marks item it as held. Unregistered items (it < 0) have no slot
+// and nothing to record — they can never be advertised or delivered.
+func (n *node) setHas(it int) {
+	if it < 0 {
+		return
+	}
+	n.grow(it)
+	n.has[it] = true
+}
+
+// setWant stores acquisition state for d (dense index it); unregistered
+// items go to the overflow map.
+func (n *node) setWant(d packet.DataID, it int, acq *acquisition) {
+	if it >= 0 {
+		n.grow(it)
+		n.want[it] = acq
+		return
+	}
+	if n.wantOverflow == nil {
+		n.wantOverflow = make(map[uint64]*acquisition)
+	}
+	n.wantOverflow[d.Key()] = acq
+}
+
+// clearWant drops the acquisition state for d (dense index it).
+func (n *node) clearWant(d packet.DataID, it int) {
+	if it >= 0 {
+		if it < len(n.want) {
+			n.want[it] = nil
+		}
+		return
+	}
+	delete(n.wantOverflow, d.Key())
+}
 
 // HandlePacket defers protocol processing by Tproc, as in §4's model.
 func (n *node) HandlePacket(p packet.Packet) {
@@ -306,15 +379,16 @@ func (n *node) HandlePacket(p packet.Packet) {
 		if !n.sys.nw.Alive(n.id) {
 			return // failed while processing; the packet is lost
 		}
+		it := n.item(p.Meta)
 		switch p.Kind {
 		case packet.ADV:
-			n.onADV(p)
+			n.onADV(p, it)
 		case packet.REQ:
-			n.onREQ(p)
+			n.onREQ(p, it)
 		case packet.DATA:
-			n.onDATA(p)
+			n.onDATA(p, it)
 		case packet.QRY:
-			n.onQRY(p)
+			n.onQRY(p, it)
 		default:
 			panic(fmt.Sprintf("core: node %d received unexpected %v", n.id, p.Kind))
 		}
@@ -345,18 +419,18 @@ func (n *node) closer(candidate, current packet.NodeID) bool {
 //     relay to acquire and re-advertise the data.
 //   - Advertisements from closer nodes promote the PRONE and demote the old
 //     PRONE to SCONE.
-func (n *node) onADV(p packet.Packet) {
+func (n *node) onADV(p packet.Packet, it int) {
 	d := p.Meta
-	if n.has[d] || !n.sys.interest(n.id, d) {
+	if n.hasItem(it) || !n.sys.interest(n.id, d) {
 		return
 	}
-	acq := n.want[d]
+	acq := n.wantFor(d, it)
 	promoted := false
 	if acq == nil {
 		// First ADV for this item: PRONE and SCONE both start as the
 		// advertiser (the data source, at protocol start).
 		acq = &acquisition{prone: p.Src, scone: p.Src}
-		n.want[d] = acq
+		n.setWant(d, it, acq)
 		promoted = true
 	} else {
 		if acq.abandoned {
@@ -382,43 +456,43 @@ func (n *node) onADV(p packet.Packet) {
 		// PRONE unreachable by routing (e.g. source in another zone whose
 		// ADV still arrived radio-wise). Wait for a closer advertiser.
 		if promoted || !acq.tauADV.Active() {
-			n.armTauADV(d, acq)
+			n.armTauADV(d, it, acq)
 		}
 		return
 	}
 	if hops == 1 {
 		// Next-hop neighbor: request immediately, directly.
 		acq.tauADV.Cancel()
-		n.sendREQ(d, acq, acq.prone, true)
+		n.sendREQ(d, it, acq, acq.prone, true)
 		return
 	}
 	// Multi-hop would be needed: wait τADV for a relay's advertisement.
 	// Re-arming on a PRONE promotion matches §3.5 ("C ... resets its timer
 	// τADV"); unrelated repeat ADVs must not postpone the timer forever.
 	if promoted || !acq.tauADV.Active() {
-		n.armTauADV(d, acq)
+		n.armTauADV(d, it, acq)
 	}
 }
 
 // armTauADV (re)starts the advertisement-wait timer. Re-arming on each ADV
 // matches §3.5: "C on receiving the ADV packet from r1 resets its timer
 // τADV".
-func (n *node) armTauADV(d packet.DataID, acq *acquisition) {
+func (n *node) armTauADV(d packet.DataID, it int, acq *acquisition) {
 	acq.tauADV.Cancel()
 	acq.tauADV = n.sys.nw.Scheduler().After(n.sys.tauADV(), func() {
-		if !n.sys.nw.Alive(n.id) || n.has[d] {
+		if !n.sys.nw.Alive(n.id) || n.hasItem(it) {
 			return
 		}
 		n.sys.nw.Counters().Timeouts++
 		// τADV expired: request from the PRONE through the shortest path.
-		n.sendREQ(d, acq, acq.prone, false)
+		n.sendREQ(d, it, acq, acq.prone, false)
 	})
 }
 
 // sendREQ transmits a request to target, directly (single transmission at
 // the level that spans the distance) or along the multi-hop shortest path,
 // and arms τDAT.
-func (n *node) sendREQ(d packet.DataID, acq *acquisition, target packet.NodeID, direct bool) {
+func (n *node) sendREQ(d packet.DataID, it int, acq *acquisition, target packet.NodeID, direct bool) {
 	if acq.attempts >= n.sys.cfg.MaxAttempts {
 		acq.abandoned = true
 		acq.tauADV.Cancel()
@@ -436,7 +510,7 @@ func (n *node) sendREQ(d packet.DataID, acq *acquisition, target packet.NodeID, 
 		if !ok {
 			// Not actually reachable in one transmission (mobility can do
 			// this); fall back to multi-hop.
-			n.sendREQViaRoute(d, acq, target)
+			n.sendREQViaRoute(d, it, acq, target)
 			return
 		}
 		n.sys.nw.Send(packet.Packet{
@@ -474,19 +548,19 @@ func (n *node) sendREQ(d packet.DataID, acq *acquisition, target packet.NodeID, 
 			hops = h
 		}
 	}
-	n.armTauDAT(d, acq, hops)
+	n.armTauDAT(d, it, acq, hops)
 }
 
 // sendREQViaRoute is sendREQ's multi-hop fallback used when a "direct"
 // attempt turns out to be unreachable.
-func (n *node) sendREQViaRoute(d packet.DataID, acq *acquisition, target packet.NodeID) {
+func (n *node) sendREQViaRoute(d packet.DataID, it int, acq *acquisition, target packet.NodeID) {
 	acq.lastDirect = false
 	if !n.sendREQViaRouteOnce(d, target) {
 		acq.abandoned = true
 		return
 	}
 	hops, _ := n.sys.tables.Hops(n.id, target)
-	n.armTauDAT(d, acq, hops)
+	n.armTauDAT(d, it, acq, hops)
 }
 
 // sendREQViaRouteOnce emits one REQ toward target via the primary next hop.
@@ -515,14 +589,14 @@ func (n *node) sendREQViaRouteOnce(d packet.DataID, target packet.NodeID) bool {
 
 // armTauDAT starts the data-wait timer for a request that travels the given
 // number of hops.
-func (n *node) armTauDAT(d packet.DataID, acq *acquisition, hops int) {
+func (n *node) armTauDAT(d packet.DataID, it int, acq *acquisition, hops int) {
 	acq.tauDAT.Cancel()
 	acq.tauDAT = n.sys.nw.Scheduler().After(n.sys.tauDAT(hops), func() {
-		if !n.sys.nw.Alive(n.id) || n.has[d] {
+		if !n.sys.nw.Alive(n.id) || n.hasItem(it) {
 			return
 		}
 		n.sys.nw.Counters().Timeouts++
-		n.failover(d, acq)
+		n.failover(d, it, acq)
 	})
 }
 
@@ -540,16 +614,16 @@ func (n *node) armTauDAT(d packet.DataID, acq *acquisition, hops int) {
 //  3. If the direct SCONE request was lost too, the node is out of known
 //     providers; the acquisition is abandoned until a fresh advertisement
 //     revives it.
-func (n *node) failover(d packet.DataID, acq *acquisition) {
+func (n *node) failover(d packet.DataID, it int, acq *acquisition) {
 	n.sys.nw.Counters().Failovers++
 	switch {
 	case !acq.lastDirect:
 		// Multi-hop attempt failed: go direct to the current PRONE at
 		// whatever power reaches it.
-		n.sendREQ(d, acq, acq.prone, true)
+		n.sendREQ(d, it, acq, acq.prone, true)
 	case acq.lastTarget != acq.scone:
 		// Direct attempt on the PRONE failed: the PRONE is down.
-		n.sendREQ(d, acq, acq.scone, true)
+		n.sendREQ(d, it, acq, acq.scone, true)
 	default:
 		acq.abandoned = true
 	}
@@ -558,10 +632,9 @@ func (n *node) failover(d packet.DataID, acq *acquisition) {
 // onREQ handles a request arriving at this node: serve it if addressed
 // here, otherwise forward it along this node's own shortest path to the
 // addressee (hop-by-hop forwarding, §3.2).
-func (n *node) onREQ(p packet.Packet) {
-	d := p.Meta
-	if p.Provider == n.id || (n.sys.cfg.ServeFromCache && n.has[d]) {
-		if !n.has[d] {
+func (n *node) onREQ(p packet.Packet, it int) {
+	if p.Provider == n.id || (n.sys.cfg.ServeFromCache && n.hasItem(it)) {
+		if !n.hasItem(it) {
 			// Addressed to us but we never got the data (e.g. we are a
 			// PRONE that lost a race). Drop; the requester's τDAT recovers.
 			n.sys.nw.Counters().Drops++
@@ -641,10 +714,10 @@ func (n *node) serveDATA(req packet.Packet) {
 // once in its zone ("a node advertises its own data as well as all received
 // data once amongst its neighbors", §3.2) — unless the relay-ADV ablation
 // is active.
-func (n *node) onDATA(p packet.Packet) {
+func (n *node) onDATA(p packet.Packet, it int) {
 	d := p.Meta
-	isNew := !n.has[d]
-	n.has[d] = true
+	isNew := !n.hasItem(it)
+	n.setHas(it)
 	if !isNew {
 		n.sys.nw.Counters().Duplicates++
 	}
@@ -655,24 +728,24 @@ func (n *node) onDATA(p packet.Packet) {
 		n.sys.nw.Counters().Delivered++
 	}
 	// Whatever role this node played, its own acquisition is now satisfied.
-	if acq := n.want[d]; acq != nil {
+	if acq := n.wantFor(d, it); acq != nil {
 		acq.tauADV.Cancel()
 		acq.tauDAT.Cancel()
-		delete(n.want, d)
+		n.clearWant(d, it)
 	}
-	if q := n.queries[d]; q != nil {
+	if q := n.queries[d.Key()]; q != nil {
 		q.timer.Cancel()
-		delete(n.queries, d)
+		delete(n.queries, d.Key())
 	}
 
 	if p.Requester == n.id {
-		n.advertise(d)
+		n.advertise(d, it)
 		return
 	}
 
 	// Relay: cache (done above), advertise, forward toward the requester.
 	if !n.sys.cfg.DisableRelayADV {
-		n.advertise(d)
+		n.advertise(d, it)
 	}
 	// A trail-carrying reply (inter-zone query) is source-routed; otherwise
 	// fall through to table routing.
@@ -698,11 +771,12 @@ func (n *node) onDATA(p packet.Packet) {
 
 // advertise broadcasts an ADV for d once per node, at maximum power — the
 // zone-wide announcement that drives both discovery and PRONE promotion.
-func (n *node) advertise(d packet.DataID) {
-	if n.advertised[d] {
+func (n *node) advertise(d packet.DataID, it int) {
+	if it < 0 || (it < len(n.advertised) && n.advertised[it]) {
 		return
 	}
-	n.advertised[d] = true
+	n.grow(it)
+	n.advertised[it] = true
 	n.sys.nw.Send(packet.Packet{
 		Kind:  packet.ADV,
 		Meta:  d,

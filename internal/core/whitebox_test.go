@@ -29,8 +29,8 @@ func TestSendREQDirectFallsBackToRoute(t *testing.T) {
 
 	n := fx.sys.nodes[11]
 	acq := &acquisition{prone: 0, scone: 0}
-	n.want[d] = acq
-	n.sendREQ(d, acq, 0, true) // direct to an unreachable target
+	n.setWant(d, n.item(d), acq)
+	n.sendREQ(d, n.item(d), acq, 0, true) // direct to an unreachable target
 	run(t, fx, 5*time.Second)
 
 	if !fx.sys.Has(11, d) {
@@ -59,8 +59,8 @@ func TestSendREQAbandonsWithoutAnyPath(t *testing.T) {
 	}
 	n := fx.sys.nodes[1]
 	acq := &acquisition{prone: 0, scone: 0}
-	n.want[d] = acq
-	n.sendREQ(d, acq, 0, false) // multi-hop with no route at all
+	n.setWant(d, n.item(d), acq)
+	n.sendREQ(d, n.item(d), acq, 0, false) // multi-hop with no route at all
 	run(t, fx, time.Second)
 	if !acq.abandoned {
 		t.Fatal("unroutable request not abandoned")
@@ -77,8 +77,8 @@ func TestSendREQRespectsAttemptBudget(t *testing.T) {
 	d := packet.DataID{Origin: 0, Seq: 0}
 	n := fx.sys.nodes[2]
 	acq := &acquisition{prone: 0, scone: 0, attempts: fx.sys.cfg.MaxAttempts}
-	n.want[d] = acq
-	n.sendREQ(d, acq, 0, true)
+	n.setWant(d, n.item(d), acq)
+	n.sendREQ(d, n.item(d), acq, 0, true)
 	run(t, fx, 100*time.Millisecond)
 	if got := fx.nw.Counters().Sent[packet.REQ]; got != 0 {
 		t.Fatalf("REQ sent despite exhausted budget (%d)", got)

@@ -31,71 +31,128 @@ type Protocol interface {
 	Originate(src packet.NodeID, d packet.DataID) error
 }
 
-type deliveryKey struct {
-	node packet.NodeID
-	data packet.DataID
+// itemInfo is one registered data item: its origination time and its dense
+// index in registration order.
+type itemInfo struct {
+	at  time.Duration
+	idx int32
 }
 
 // Ledger tracks data lifecycles across the network for one simulation run.
 // It is shared by all node instances of a protocol system.
+//
+// Items are numbered densely in origination order (Index); protocols use
+// that index to keep their per-item node state in flat slices instead of
+// per-node maps — a delivery-path membership test is run for every DATA
+// packet, and at campaign scale (10⁶ distinct deliveries per run) map
+// probing dominates the profile. For the same reason the delivered set is
+// one node-id bitset per item rather than a map of 24-byte composite keys:
+// smaller by two orders of magnitude and a single indexed load to test.
 type Ledger struct {
-	born      map[packet.DataID]time.Duration
-	delivered map[deliveryKey]bool
+	items     map[uint64]itemInfo // DataID.Key() -> registration info
+	delivered [][]uint64          // per item index: bitset over node ids
+	count     int                 // distinct (node, item) deliveries
 	delays    *metrics.DelayStats
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
 	return &Ledger{
-		born:      make(map[packet.DataID]time.Duration),
-		delivered: make(map[deliveryKey]bool),
-		delays:    metrics.NewDelayStats(),
+		items:  make(map[uint64]itemInfo),
+		delays: metrics.NewDelayStats(),
 	}
 }
 
 // Originate records that d was advertised by its origin at time now.
 // Re-originating the same DataID is an error: metadata names must be unique.
 func (l *Ledger) Originate(d packet.DataID, now time.Duration) error {
-	if _, dup := l.born[d]; dup {
+	if _, dup := l.items[d.Key()]; dup {
 		return fmt.Errorf("dissem: data %v originated twice", d)
 	}
-	l.born[d] = now
+	l.items[d.Key()] = itemInfo{at: now, idx: int32(len(l.delivered))}
+	l.delivered = append(l.delivered, nil)
 	return nil
+}
+
+// Index returns d's dense registration index (assigned in origination
+// order, starting at 0), or -1 when d was never originated. Protocols key
+// their per-item state slices on it.
+func (l *Ledger) Index(d packet.DataID) int {
+	info, ok := l.items[d.Key()]
+	if !ok {
+		return -1
+	}
+	return int(info.idx)
 }
 
 // BornAt returns when d was originated.
 func (l *Ledger) BornAt(d packet.DataID) (time.Duration, bool) {
-	at, ok := l.born[d]
-	return at, ok
+	info, ok := l.items[d.Key()]
+	return info.at, ok
 }
 
 // Originated returns how many data items have been introduced.
-func (l *Ledger) Originated() int { return len(l.born) }
+func (l *Ledger) Originated() int { return len(l.items) }
 
 // RecordDelivery marks d as delivered to node at time now, recording the
 // end-to-end delay sample. It reports false (and records nothing) for a
 // duplicate delivery or for data that was never originated.
 func (l *Ledger) RecordDelivery(node packet.NodeID, d packet.DataID, now time.Duration) bool {
-	bornAt, ok := l.born[d]
+	info, ok := l.items[d.Key()]
 	if !ok {
 		return false
 	}
-	k := deliveryKey{node: node, data: d}
-	if l.delivered[k] {
+	bs := l.delivered[info.idx]
+	w, bit := int(node)>>6, uint64(1)<<(uint(node)&63)
+	if w >= len(bs) {
+		nbs := make([]uint64, w+1)
+		copy(nbs, bs)
+		bs = nbs
+		l.delivered[info.idx] = bs
+	}
+	if bs[w]&bit != 0 {
 		return false
 	}
-	l.delivered[k] = true
-	l.delays.Record(now - bornAt)
+	bs[w] |= bit
+	l.count++
+	l.delays.Record(now - info.at)
 	return true
 }
 
 // WasDelivered reports whether node already received d.
 func (l *Ledger) WasDelivered(node packet.NodeID, d packet.DataID) bool {
-	return l.delivered[deliveryKey{node: node, data: d}]
+	info, ok := l.items[d.Key()]
+	if !ok {
+		return false
+	}
+	bs := l.delivered[info.idx]
+	w := int(node) >> 6
+	return w < len(bs) && bs[w]&(1<<(uint(node)&63)) != 0
 }
 
 // Deliveries returns the number of distinct (node, data) deliveries.
-func (l *Ledger) Deliveries() int { return len(l.delivered) }
+func (l *Ledger) Deliveries() int { return l.count }
+
+// GrowItems extends a per-item protocol state slice to cover item index it:
+// at least to originated (the ledger's current item count — every valid
+// index is below it), doubling so repeated growth over a run's originations
+// stays amortized. The one growth policy shared by every protocol keeping
+// ledger-indexed state.
+func GrowItems[T any](s []T, it, originated int) []T {
+	need := it + 1
+	if need <= len(s) {
+		return s
+	}
+	if need < originated {
+		need = originated
+	}
+	if d := 2 * len(s); need < d {
+		need = d
+	}
+	ns := make([]T, need)
+	copy(ns, s)
+	return ns
+}
 
 // Delays exposes the delay statistics.
 func (l *Ledger) Delays() *metrics.DelayStats { return l.delays }

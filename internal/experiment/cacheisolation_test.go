@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepWorkersCacheIsolation exercises the topo neighbor caches under
+// the race detector: several identical mobility-heavy scenarios run
+// concurrently in one pool, so every worker is constantly rebuilding and
+// querying its own field's cache-owned slices. A worker observing another
+// worker's cache would show up either as a -race report (the caches are
+// written without synchronization — safe only because each Field belongs to
+// exactly one worker) or as a result mismatch against the serial run.
+func TestSweepWorkersCacheIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	sc := Scenario{
+		Protocol:         SPMS,
+		Workload:         AllToAll,
+		Nodes:            49,
+		ZoneRadius:       20,
+		PacketsPerNode:   2,
+		Mobility:         true,
+		MobilityPeriod:   50 * time.Millisecond,
+		MobilityFraction: 0.1,
+		Seed:             7,
+		Drain:            2 * time.Second,
+	}
+	// Identical points: any cross-worker cache bleed makes results diverge.
+	points := []Scenario{sc, sc, sc, sc}
+	serial, err := (Sweep{Points: points, Workers: 1}).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (Sweep{Points: points, Workers: len(points)}).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("point %d diverged between serial and parallel pools:\nserial:   %+v\nparallel: %+v",
+				i, serial[i], parallel[i])
+		}
+		if serial[i] != serial[0] {
+			t.Fatalf("identical scenarios gave different results within the serial pool (point %d)", i)
+		}
+	}
+}

@@ -42,7 +42,7 @@ func NewSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Inter
 	s := &System{nw: nw, ledger: ledger, interest: interest, proc: proc}
 	s.nodes = make([]*node, nw.N())
 	for i := range s.nodes {
-		n := &node{sys: s, id: packet.NodeID(i), seen: make(map[packet.DataID]bool)}
+		n := &node{sys: s, id: packet.NodeID(i)}
 		s.nodes[i] = n
 		nw.Bind(n.id, n)
 	}
@@ -65,7 +65,7 @@ func (s *System) Originate(src packet.NodeID, d packet.DataID) error {
 		return err
 	}
 	n := s.nodes[src]
-	n.seen[d] = true
+	n.setSeen(s.ledger.Index(d))
 	n.rebroadcast(d)
 	return nil
 }
@@ -75,13 +75,28 @@ func (s *System) Has(id packet.NodeID, d packet.DataID) bool {
 	if id < 0 || int(id) >= len(s.nodes) {
 		panic(fmt.Sprintf("flood: node id %d out of range", id))
 	}
-	return s.nodes[id].seen[d]
+	return s.nodes[id].seenItem(s.ledger.Index(d))
 }
 
+// node keeps its seen set as a flat slice indexed by the ledger's dense
+// item index (dissem.Ledger.Index) — see the matching layout in
+// internal/core.
 type node struct {
 	sys  *System
 	id   packet.NodeID
-	seen map[packet.DataID]bool
+	seen []bool
+}
+
+// seenItem reports whether this node already received item it.
+func (n *node) seenItem(it int) bool { return it >= 0 && it < len(n.seen) && n.seen[it] }
+
+// setSeen marks item it as received (no-op for unregistered items).
+func (n *node) setSeen(it int) {
+	if it < 0 {
+		return
+	}
+	n.seen = dissem.GrowItems(n.seen, it, n.sys.ledger.Originated())
+	n.seen[it] = true
 }
 
 var _ network.Receiver = (*node)(nil)
@@ -95,11 +110,12 @@ func (n *node) HandlePacket(p packet.Packet) {
 			panic(fmt.Sprintf("flood: node %d received unexpected %v", n.id, p.Kind))
 		}
 		d := p.Meta
-		if n.seen[d] {
+		it := n.sys.ledger.Index(d)
+		if n.seenItem(it) {
 			n.sys.nw.Counters().Duplicates++
 			return // rebroadcast only the first copy
 		}
-		n.seen[d] = true
+		n.setSeen(it)
 		if n.sys.interest(n.id, d) &&
 			n.sys.ledger.RecordDelivery(n.id, d, n.sys.nw.Scheduler().Now()) {
 			n.sys.nw.Counters().Delivered++

@@ -70,6 +70,75 @@ func (r Rect) Clamp(p Point) Point {
 	}
 }
 
+// CellGrid partitions a Rect into a uniform grid of equally sized cells,
+// each at least minCell wide and tall. It is the geometric substrate of the
+// topology layer's spatial index: because every cell spans at least minCell
+// in both axes, all points within minCell of a query point lie in the 3×3
+// cell neighborhood around it. A degenerate axis (zero width or height, as
+// in a chain field) collapses to a single row or column.
+type CellGrid struct {
+	min        Point
+	cols, rows int
+	invW, invH float64 // cells per meter; 0 on a degenerate axis
+}
+
+// NewCellGrid builds the cell decomposition of bounds. minCell <= 0 yields a
+// single cell, as does a bounds whose extent is smaller than minCell.
+// maxPerAxis caps the cell count per axis (<= 0 means no cap); the spatial
+// index uses it to bound bucket memory on sparse fields.
+func NewCellGrid(bounds Rect, minCell float64, maxPerAxis int) CellGrid {
+	axis := func(extent float64) (int, float64) {
+		n := 1
+		if minCell > 0 && extent > minCell {
+			n = int(extent / minCell)
+		}
+		if maxPerAxis > 0 && n > maxPerAxis {
+			n = maxPerAxis
+		}
+		if n < 1 {
+			n = 1
+		}
+		if extent <= 0 {
+			return 1, 0
+		}
+		return n, float64(n) / extent
+	}
+	g := CellGrid{min: bounds.Min}
+	g.cols, g.invW = axis(bounds.Width())
+	g.rows, g.invH = axis(bounds.Height())
+	return g
+}
+
+// Cols returns the number of cell columns.
+func (g CellGrid) Cols() int { return g.cols }
+
+// Rows returns the number of cell rows.
+func (g CellGrid) Rows() int { return g.rows }
+
+// NumCells returns the total cell count.
+func (g CellGrid) NumCells() int { return g.cols * g.rows }
+
+// CellOf returns the cell coordinates containing p, clamped to the grid, so
+// out-of-bounds points map to the nearest boundary cell.
+func (g CellGrid) CellOf(p Point) (cx, cy int) {
+	clamp := func(v float64, n int) int {
+		i := int(v)
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	cx = clamp((p.X-g.min.X)*g.invW, g.cols)
+	cy = clamp((p.Y-g.min.Y)*g.invH, g.rows)
+	return cx, cy
+}
+
+// Index flattens cell coordinates row-major into [0, NumCells).
+func (g CellGrid) Index(cx, cy int) int { return cy*g.cols + cx }
+
 // GridPlacement places n nodes on a square grid with the given spacing in
 // meters, row-major from the origin. If n is not a perfect square the last
 // row is partial. This mirrors the paper's analytic setup of "a uniform

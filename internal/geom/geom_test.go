@@ -138,3 +138,88 @@ func TestChainPlacement(t *testing.T) {
 		}
 	}
 }
+
+func TestCellGridDimensions(t *testing.T) {
+	tests := []struct {
+		name       string
+		bounds     Rect
+		minCell    float64
+		maxPerAxis int
+		cols, rows int
+	}{
+		{"exact fit", Rect{Max: Point{60, 60}}, 20, 0, 3, 3},
+		{"partial cells absorb", Rect{Max: Point{65, 65}}, 20, 0, 3, 3},
+		{"cell bigger than field", Rect{Max: Point{60, 60}}, 91.44, 0, 1, 1},
+		{"degenerate height (chain)", Rect{Max: Point{100, 0}}, 10, 0, 10, 1},
+		{"empty rect", Rect{}, 10, 0, 1, 1},
+		{"non-positive cell", Rect{Max: Point{60, 60}}, 0, 0, 1, 1},
+		{"per-axis cap", Rect{Max: Point{1000, 1000}}, 1, 64, 64, 64},
+	}
+	for _, tt := range tests {
+		g := NewCellGrid(tt.bounds, tt.minCell, tt.maxPerAxis)
+		if g.Cols() != tt.cols || g.Rows() != tt.rows {
+			t.Fatalf("%s: %dx%d cells, want %dx%d", tt.name, g.Cols(), g.Rows(), tt.cols, tt.rows)
+		}
+		if g.NumCells() != tt.cols*tt.rows {
+			t.Fatalf("%s: NumCells=%d, want %d", tt.name, g.NumCells(), tt.cols*tt.rows)
+		}
+	}
+}
+
+// TestCellGridCellSizeInvariant checks the property the spatial index
+// relies on: every cell spans at least minCell in both axes, so any two
+// points within minCell of each other are at most one cell apart.
+func TestCellGridCellSizeInvariant(t *testing.T) {
+	bounds := Rect{Min: Point{3, 7}, Max: Point{130, 55}}
+	const minCell = 11.0
+	g := NewCellGrid(bounds, minCell, 0)
+	if w := bounds.Width() / float64(g.Cols()); w < minCell {
+		t.Fatalf("cell width %v < minCell %v", w, minCell)
+	}
+	if h := bounds.Height() / float64(g.Rows()); h < minCell {
+		t.Fatalf("cell height %v < minCell %v", h, minCell)
+	}
+	src := rand.New(rand.NewSource(2))
+	randPt := func() Point {
+		return Point{
+			X: bounds.Min.X + bounds.Width()*src.Float64(),
+			Y: bounds.Min.Y + bounds.Height()*src.Float64(),
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		p := randPt()
+		q := Point{X: p.X + (src.Float64()*2-1)*minCell, Y: p.Y + (src.Float64()*2-1)*minCell}
+		if !bounds.Contains(q) || p.Dist(q) > minCell {
+			continue
+		}
+		px, py := g.CellOf(p)
+		qx, qy := g.CellOf(q)
+		if dx := px - qx; dx < -1 || dx > 1 {
+			t.Fatalf("points %v,%v within %v are %d columns apart", p, q, minCell, dx)
+		}
+		if dy := py - qy; dy < -1 || dy > 1 {
+			t.Fatalf("points %v,%v within %v are %d rows apart", p, q, minCell, dy)
+		}
+	}
+}
+
+func TestCellGridClampsOutOfBounds(t *testing.T) {
+	g := NewCellGrid(Rect{Max: Point{60, 60}}, 20, 0)
+	for _, p := range []Point{{-5, -5}, {100, 30}, {30, 100}, {1e18, -1e18}} {
+		cx, cy := g.CellOf(p)
+		if cx < 0 || cx >= g.Cols() || cy < 0 || cy >= g.Rows() {
+			t.Fatalf("CellOf(%v) = (%d,%d) outside grid %dx%d", p, cx, cy, g.Cols(), g.Rows())
+		}
+	}
+	// Index covers the full row-major range.
+	seen := map[int]bool{}
+	for cy := 0; cy < g.Rows(); cy++ {
+		for cx := 0; cx < g.Cols(); cx++ {
+			idx := g.Index(cx, cy)
+			if idx < 0 || idx >= g.NumCells() || seen[idx] {
+				t.Fatalf("Index(%d,%d)=%d invalid or duplicate", cx, cy, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}

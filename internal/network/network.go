@@ -231,7 +231,9 @@ func (nw *Network) Send(p packet.Packet) {
 
 	// Carrier sense: wait for the channel around the transmitter to clear,
 	// then back off, then transmit. The frame reserves the air for every
-	// node inside the transmit radius until it ends.
+	// node inside the transmit radius until it ends — exactly the sender
+	// plus its cached level neighbors, so the reservation loop is
+	// O(neighbors) rather than a distance scan over all N nodes.
 	now := nw.sched.Now()
 	start := now
 	if nw.carrierSense && nw.busyUntil[p.Src] > now {
@@ -240,9 +242,11 @@ func (nw *Network) Send(p packet.Packet) {
 	start += access
 	end := start + model.TxTime(p.Bytes)
 	if nw.carrierSense {
-		r := model.RangeM(p.Level)
-		for i := range nw.busyUntil {
-			if nw.field.Dist(p.Src, packet.NodeID(i)) <= r && nw.busyUntil[i] < end {
+		if nw.busyUntil[p.Src] < end {
+			nw.busyUntil[p.Src] = end
+		}
+		for _, i := range nw.field.ReachedBy(p.Src, p.Level) {
+			if nw.busyUntil[i] < end {
 				nw.busyUntil[i] = end
 			}
 		}
@@ -273,7 +277,7 @@ func (nw *Network) complete(p packet.Packet) {
 		return
 	}
 	nw.check(p.Dst)
-	if nw.field.Dist(p.Src, p.Dst) > model.RangeM(p.Level) {
+	if !nw.field.InRange(p.Src, p.Dst, p.Level) {
 		// Receiver moved out of range during the exchange.
 		nw.count.Drops++
 		nw.emit(TraceEvent{Kind: TraceDrop, Packet: p, Node: p.Dst, Reason: "out of range"})

@@ -15,7 +15,7 @@ package routing
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/metrics"
 	"repro/internal/packet"
@@ -124,11 +124,21 @@ func Compute(g *Graph, k int) *Tables {
 	}
 
 	// Round 0: every node announces its initial vector (distance 0 to
-	// itself) to its neighbors.
+	// itself) to its neighbors. The two vector generations are
+	// double-buffered and swapped between rounds — the synchronous
+	// read-old/write-new update without reallocating O(N²) state per round.
 	changed := make([]bool, n)
+	next := make([]bool, n)
 	for i := range changed {
 		changed[i] = true
 	}
+	newDist := make([][]float64, n)
+	newHops := make([][]int, n)
+	for i := 0; i < n; i++ {
+		newDist[i] = make([]float64, n)
+		newHops[i] = make([]int, n)
+	}
+	inf := math.Inf(1)
 	for {
 		anyChanged := false
 		for i := range changed {
@@ -144,38 +154,35 @@ func Compute(g *Graph, k int) *Tables {
 		t.rounds++
 
 		// Each node recomputes from the vectors its neighbors broadcast
-		// this round. Synchronous update: read old state, write new.
-		next := make([]bool, n)
-		newDist := make([][]float64, n)
-		newHops := make([][]int, n)
+		// this round.
 		for i := 0; i < n; i++ {
-			newDist[i] = make([]float64, n)
-			newHops[i] = make([]int, n)
-			copy(newDist[i], t.dist[i])
-			copy(newHops[i], t.hops[i])
+			next[i] = false
+			di, hi := newDist[i], newHops[i]
+			copy(di, t.dist[i])
+			copy(hi, t.hops[i])
 			for _, e := range g.adj[i] {
 				if !changed[e.To] {
 					continue // that neighbor did not broadcast this round
 				}
-				j := int(e.To)
+				dj, hj := t.dist[e.To], t.hops[e.To]
+				w := e.WeightMW
 				for d := 0; d < n; d++ {
-					if i == d || math.IsInf(t.dist[j][d], 1) {
+					if i == d || dj[d] == inf {
 						continue
 					}
-					cand := e.WeightMW + t.dist[j][d]
-					candHops := 1 + t.hops[j][d]
-					if cand < newDist[i][d]-costEpsilon ||
-						(approxEqual(cand, newDist[i][d]) && candHops < newHops[i][d]) {
-						newDist[i][d] = cand
-						newHops[i][d] = candHops
+					cand := w + dj[d]
+					if cand < di[d]-costEpsilon ||
+						(approxEqual(cand, di[d]) && 1+hj[d] < hi[d]) {
+						di[d] = cand
+						hi[d] = 1 + hj[d]
 						next[i] = true
 					}
 				}
 			}
 		}
-		t.dist = newDist
-		t.hops = newHops
-		changed = next
+		t.dist, newDist = newDist, t.dist
+		t.hops, newHops = newHops, t.hops
+		changed, next = next, changed
 	}
 
 	t.deriveRoutes(g)
@@ -189,15 +196,21 @@ func approxEqual(a, b float64) bool { return math.Abs(a-b) <= costEpsilon }
 
 // deriveRoutes builds the k-alternative tables from converged distances:
 // for each (src, dst), the candidate cost via each neighbor j is
-// w(src,j) + dist(j,dst); keep the best k with distinct next hops.
+// w(src,j) + dist(j,dst); keep the best k with distinct next hops. One
+// scratch buffer collects candidates per pair (the comparator's NextHop
+// tie-break makes the order total, so the sort result is unique); the kept
+// prefix is copied into a shared arena so the N² route slices cost O(N²·k)
+// memory in a handful of allocations instead of one allocation per pair.
 func (t *Tables) deriveRoutes(g *Graph) {
+	var scratch []Entry
+	arena := make([]Entry, 0, t.n*t.k) // grown in whole-row steps as needed
 	for i := 0; i < t.n; i++ {
 		t.routes[i] = make([][]Entry, t.n)
 		for d := 0; d < t.n; d++ {
 			if i == d {
 				continue
 			}
-			var cands []Entry
+			cands := scratch[:0]
 			for _, e := range g.adj[i] {
 				j := int(e.To)
 				if math.IsInf(t.dist[j][d], 1) {
@@ -209,19 +222,31 @@ func (t *Tables) deriveRoutes(g *Graph) {
 					Hops:    1 + t.hops[j][d],
 				})
 			}
-			sort.Slice(cands, func(a, b int) bool {
-				if !approxEqual(cands[a].Cost, cands[b].Cost) {
-					return cands[a].Cost < cands[b].Cost
+			scratch = cands
+			slices.SortFunc(cands, func(a, b Entry) int {
+				if !approxEqual(a.Cost, b.Cost) {
+					if a.Cost < b.Cost {
+						return -1
+					}
+					return 1
 				}
-				if cands[a].Hops != cands[b].Hops {
-					return cands[a].Hops < cands[b].Hops
+				if a.Hops != b.Hops {
+					return a.Hops - b.Hops
 				}
-				return cands[a].NextHop < cands[b].NextHop
+				return int(a.NextHop) - int(b.NextHop)
 			})
 			if len(cands) > t.k {
 				cands = cands[:t.k]
 			}
-			t.routes[i][d] = cands
+			if len(cands) == 0 {
+				continue
+			}
+			if cap(arena)-len(arena) < len(cands) {
+				arena = make([]Entry, 0, t.n*t.k)
+			}
+			start := len(arena)
+			arena = append(arena, cands...)
+			t.routes[i][d] = arena[start:len(arena):len(arena)]
 		}
 	}
 }

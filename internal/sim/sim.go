@@ -81,15 +81,27 @@ func (t Timer) Active() bool { return t.live() }
 // At returns the virtual time the timer is (or was) scheduled to fire.
 func (t Timer) At() time.Duration { return t.at }
 
+// heapEntry is one pending-heap element. It carries the full sort key
+// (at, seq) inline next to the arena index, so sift comparisons read the
+// contiguous heap slice instead of dereferencing scattered arena slots —
+// the approach of cache-friendly priority queues. The order is identical
+// to comparing through the arena, so dispatch order (and therefore all
+// simulation output) is unchanged.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	idx int32
+}
+
 // Scheduler owns the virtual clock and the pending event set. The zero value
 // is ready to use. Scheduler is not safe for concurrent use: the simulation
 // model is single-threaded by design (see DESIGN.md §5.1).
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	arena   []event // pooled event storage; slots are recycled via free
-	free    []int32 // free-list of arena slots
-	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
+	arena   []event     // pooled event storage; slots are recycled via free
+	free    []int32     // free-list of arena slots
+	heap    []heapEntry // 4-ary min-heap ordered by (at, seq)
 	stopped bool
 
 	// dispatched counts events that have fired, for observability and as a
@@ -134,20 +146,20 @@ func (s *Scheduler) release(idx int32) {
 	s.free = append(s.free, idx)
 }
 
-// less orders arena slots by (at, seq); seq is unique, so the order is
-// total and dispatch is deterministic.
-func (s *Scheduler) less(a, b int32) bool {
-	ea, eb := &s.arena[a], &s.arena[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
+// entryLess orders heap entries by (at, seq); seq is unique, so the order
+// is total and dispatch is deterministic.
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return ea.seq < eb.seq
+	return a.seq < b.seq
 }
 
 // heapPush appends the slot and sifts it up.
 func (s *Scheduler) heapPush(idx int32) {
-	s.arena[idx].pos = int32(len(s.heap))
-	s.heap = append(s.heap, idx)
+	ev := &s.arena[idx]
+	ev.pos = int32(len(s.heap))
+	s.heap = append(s.heap, heapEntry{at: ev.at, seq: ev.seq, idx: idx})
 	s.siftUp(len(s.heap) - 1)
 }
 
@@ -161,30 +173,30 @@ func (s *Scheduler) heapRemove(i int32) {
 		return
 	}
 	s.heap[i] = moved
-	s.arena[moved].pos = i
+	s.arena[moved.idx].pos = i
 	s.siftDown(int(i))
 	s.siftUp(int(i))
 }
 
 // siftUp restores heap order from position i toward the root.
 func (s *Scheduler) siftUp(i int) {
-	idx := s.heap[i]
+	e := s.heap[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !s.less(idx, s.heap[parent]) {
+		if !entryLess(e, s.heap[parent]) {
 			break
 		}
 		s.heap[i] = s.heap[parent]
-		s.arena[s.heap[i]].pos = int32(i)
+		s.arena[s.heap[i].idx].pos = int32(i)
 		i = parent
 	}
-	s.heap[i] = idx
-	s.arena[idx].pos = int32(i)
+	s.heap[i] = e
+	s.arena[e.idx].pos = int32(i)
 }
 
 // siftDown restores heap order from position i toward the leaves.
 func (s *Scheduler) siftDown(i int) {
-	idx := s.heap[i]
+	e := s.heap[i]
 	n := len(s.heap)
 	for {
 		first := 4*i + 1
@@ -197,19 +209,19 @@ func (s *Scheduler) siftDown(i int) {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			if s.less(s.heap[c], s.heap[min]) {
+			if entryLess(s.heap[c], s.heap[min]) {
 				min = c
 			}
 		}
-		if !s.less(s.heap[min], idx) {
+		if !entryLess(s.heap[min], e) {
 			break
 		}
 		s.heap[i] = s.heap[min]
-		s.arena[s.heap[i]].pos = int32(i)
+		s.arena[s.heap[i].idx].pos = int32(i)
 		i = min
 	}
-	s.heap[i] = idx
-	s.arena[idx].pos = int32(i)
+	s.heap[i] = e
+	s.arena[e.idx].pos = int32(i)
 }
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
@@ -249,7 +261,7 @@ func (s *Scheduler) step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	idx := s.heap[0]
+	idx := s.heap[0].idx
 	s.heapRemove(0)
 	ev := &s.arena[idx]
 	at, fn := ev.at, ev.fn
@@ -307,5 +319,5 @@ func (s *Scheduler) peek() (time.Duration, bool) {
 	if len(s.heap) == 0 {
 		return 0, false
 	}
-	return s.arena[s.heap[0]].at, true
+	return s.heap[0].at, true
 }

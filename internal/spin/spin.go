@@ -69,13 +69,7 @@ func NewSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Inter
 	s := &System{nw: nw, ledger: ledger, interest: interest, cfg: cfg}
 	s.nodes = make([]*node, nw.N())
 	for i := range s.nodes {
-		n := &node{
-			sys:        s,
-			id:         packet.NodeID(i),
-			has:        make(map[packet.DataID]bool),
-			advertised: make(map[packet.DataID]bool),
-			pending:    make(map[packet.DataID]sim.Timer),
-		}
+		n := &node{sys: s, id: packet.NodeID(i)}
 		s.nodes[i] = n
 		nw.Bind(n.id, n)
 	}
@@ -126,18 +120,46 @@ func (s *System) Originate(src packet.NodeID, d packet.DataID) error {
 		return err
 	}
 	n := s.nodes[src]
-	n.has[d] = true
-	n.advertise(d)
+	it := s.ledger.Index(d)
+	n.setHas(it)
+	n.advertise(d, it)
 	return nil
 }
 
-// node is one SPIN protocol instance.
+// node is one SPIN protocol instance. Per-item state lives in flat slices
+// indexed by the ledger's dense item index (dissem.Ledger.Index), resolved
+// once per packet — see the matching layout in internal/core. The zero
+// sim.Timer is inert, so the pending slice needs no occupancy flag.
 type node struct {
 	sys        *System
 	id         packet.NodeID
-	has        map[packet.DataID]bool
-	advertised map[packet.DataID]bool
-	pending    map[packet.DataID]sim.Timer
+	has        []bool
+	advertised []bool
+	pending    []sim.Timer
+}
+
+// hasItem reports whether this node holds item it.
+func (n *node) hasItem(it int) bool { return it >= 0 && it < len(n.has) && n.has[it] }
+
+// grow extends the per-item slices to cover item it.
+func (n *node) grow(it int) {
+	if it < len(n.has) {
+		return
+	}
+	c := n.sys.ledger.Originated()
+	n.has = dissem.GrowItems(n.has, it, c)
+	n.advertised = dissem.GrowItems(n.advertised, it, c)
+	n.pending = dissem.GrowItems(n.pending, it, c)
+}
+
+// setHas marks item it as held (no-op for unregistered items, which can
+// never be advertised or delivered).
+func (n *node) setHas(it int) {
+	if it < 0 {
+		return
+	}
+	n.grow(it)
+	n.has[it] = true
 }
 
 var _ network.Receiver = (*node)(nil)
@@ -151,13 +173,14 @@ func (n *node) HandlePacket(p packet.Packet) {
 		if !n.sys.nw.Alive(n.id) {
 			return // failed while processing; the packet is lost
 		}
+		it := n.sys.ledger.Index(p.Meta)
 		switch p.Kind {
 		case packet.ADV:
-			n.onADV(p)
+			n.onADV(p, it)
 		case packet.REQ:
-			n.onREQ(p)
+			n.onREQ(p, it)
 		case packet.DATA:
-			n.onDATA(p)
+			n.onDATA(p, it)
 		default:
 			// SPIN has no other traffic; CTRL packets would indicate a
 			// miswired experiment.
@@ -168,12 +191,12 @@ func (n *node) HandlePacket(p packet.Packet) {
 
 // onADV requests advertised data the node needs and is not already waiting
 // for.
-func (n *node) onADV(p packet.Packet) {
+func (n *node) onADV(p packet.Packet, it int) {
 	d := p.Meta
-	if n.has[d] || !n.sys.interest(n.id, d) {
+	if n.hasItem(it) || !n.sys.interest(n.id, d) {
 		return
 	}
-	if t, ok := n.pending[d]; ok && t.Active() {
+	if it >= 0 && it < len(n.pending) && n.pending[it].Active() {
 		return // a request is already outstanding
 	}
 	n.sys.nw.Send(packet.Packet{
@@ -185,17 +208,20 @@ func (n *node) onADV(p packet.Packet) {
 		Provider:  p.Src,
 		Level:     radio.MaxPower,
 	})
-	n.pending[d] = n.sys.nw.Scheduler().After(n.sys.cfg.PendingTimeout, func() {
-		// Expiry simply clears the suppression; a later ADV re-requests.
-		delete(n.pending, d)
-		n.sys.nw.Counters().Timeouts++
-	})
+	if it >= 0 {
+		n.grow(it)
+		n.pending[it] = n.sys.nw.Scheduler().After(n.sys.cfg.PendingTimeout, func() {
+			// Expiry simply clears the suppression; a later ADV re-requests.
+			n.pending[it] = sim.Timer{}
+			n.sys.nw.Counters().Timeouts++
+		})
+	}
 }
 
 // onREQ serves data the node holds.
-func (n *node) onREQ(p packet.Packet) {
+func (n *node) onREQ(p packet.Packet, it int) {
 	d := p.Meta
-	if !n.has[d] {
+	if !n.hasItem(it) {
 		n.sys.nw.Counters().Drops++
 		return
 	}
@@ -211,29 +237,30 @@ func (n *node) onREQ(p packet.Packet) {
 }
 
 // onDATA stores and re-advertises newly received data.
-func (n *node) onDATA(p packet.Packet) {
+func (n *node) onDATA(p packet.Packet, it int) {
 	d := p.Meta
-	if t, ok := n.pending[d]; ok {
-		t.Cancel()
-		delete(n.pending, d)
+	if it >= 0 && it < len(n.pending) {
+		n.pending[it].Cancel()
+		n.pending[it] = sim.Timer{}
 	}
-	if n.has[d] {
+	if n.hasItem(it) {
 		n.sys.nw.Counters().Duplicates++
 		return
 	}
-	n.has[d] = true
+	n.setHas(it)
 	if n.sys.ledger.RecordDelivery(n.id, d, n.sys.nw.Scheduler().Now()) {
 		n.sys.nw.Counters().Delivered++
 	}
-	n.advertise(d)
+	n.advertise(d, it)
 }
 
 // advertise broadcasts an ADV for d once per node, at maximum power.
-func (n *node) advertise(d packet.DataID) {
-	if n.advertised[d] {
+func (n *node) advertise(d packet.DataID, it int) {
+	if it < 0 || (it < len(n.advertised) && n.advertised[it]) {
 		return
 	}
-	n.advertised[d] = true
+	n.grow(it)
+	n.advertised[it] = true
 	n.sys.nw.Send(packet.Packet{
 		Kind:  packet.ADV,
 		Meta:  d,
@@ -248,5 +275,5 @@ func (s *System) Has(id packet.NodeID, d packet.DataID) bool {
 	if id < 0 || int(id) >= len(s.nodes) {
 		panic(fmt.Sprintf("spin: node id %d out of range", id))
 	}
-	return s.nodes[id].has[d]
+	return s.nodes[id].hasItem(s.ledger.Index(d))
 }

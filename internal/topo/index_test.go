@@ -1,0 +1,272 @@
+// index_test.go checks the spatial-index query layer against brute-force
+// references: exact membership equality on random fields across all power
+// levels, epoch invalidation under interleaved mobility, the ceiling
+// semantics of RelocateFraction, and the zero-allocation guarantee of the
+// steady-state query path.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// bruteReachedBy is the pre-index O(N) reference: the same Euclidean
+// predicate (math.Hypot distance <= level range) the full-scan
+// implementation used, in the same ascending-id order.
+func bruteReachedBy(f *Field, src packet.NodeID, l radio.Level) []packet.NodeID {
+	r := f.Model().RangeM(l)
+	var out []packet.NodeID
+	for i := 0; i < f.N(); i++ {
+		id := packet.NodeID(i)
+		if id == src {
+			continue
+		}
+		if f.Dist(src, id) <= r {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// bruteContenders mirrors the pre-index O(N) contender scan.
+func bruteContenders(f *Field, id packet.NodeID, l radio.Level) int {
+	r := f.Model().RangeM(l)
+	n := 0
+	for i := 0; i < f.N(); i++ {
+		if f.Dist(id, packet.NodeID(i)) <= r {
+			n++
+		}
+	}
+	return n
+}
+
+func sameIDs(a, b []packet.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstBrute asserts every query of every node at every level
+// matches the brute-force reference exactly, including order.
+func checkAgainstBrute(t *testing.T, f *Field, ctx string) {
+	t.Helper()
+	for i := 0; i < f.N(); i++ {
+		id := packet.NodeID(i)
+		for l := radio.Level(1); l <= f.Model().MinPower(); l++ {
+			want := bruteReachedBy(f, id, l)
+			got := f.ReachedBy(id, l)
+			if !sameIDs(got, want) {
+				t.Fatalf("%s: ReachedBy(%d, %d) = %v, brute force %v", ctx, id, l, got, want)
+			}
+			if wc := bruteContenders(f, id, l); f.Contenders(id, l) != wc {
+				t.Fatalf("%s: Contenders(%d, %d) = %d, brute force %d", ctx, id, l, f.Contenders(id, l), wc)
+			}
+		}
+		if !sameIDs(f.ZoneNeighbors(id), bruteReachedBy(f, id, radio.MaxPower)) {
+			t.Fatalf("%s: ZoneNeighbors(%d) diverged from max-power brute force", ctx, id)
+		}
+	}
+}
+
+// TestIndexMatchesBruteForceUniform is the core property test: on random
+// uniform fields of several sizes and radio scales, the indexed queries are
+// bit-identical to the pre-index full scans, before and after interleaved
+// Move/RelocateFraction sequences.
+func TestIndexMatchesBruteForceUniform(t *testing.T) {
+	cases := []struct {
+		n      int
+		side   float64
+		radius float64
+	}{
+		{n: 1, side: 10, radius: 20},     // singleton: empty lists everywhere
+		{n: 30, side: 40, radius: 20},    // fewer cells than 3x3
+		{n: 120, side: 120, radius: 20},  // many cells
+		{n: 120, side: 120, radius: 200}, // range dwarfs field: one cell
+		{n: 80, side: 300, radius: 12},   // sparse, disconnected components
+	}
+	for ci, c := range cases {
+		t.Run(fmt.Sprintf("case=%d_n=%d", ci, c.n), func(t *testing.T) {
+			m, err := radio.ScaledMICA2(c.radius)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRNG(int64(1000 + ci))
+			bounds := geom.Rect{Max: geom.Point{X: c.side, Y: c.side}}
+			f, err := NewUniformField(c.n, bounds, m, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstBrute(t, f, "fresh field")
+
+			// Interleave single moves, relocation waves, and queries so
+			// caches are repeatedly validated and invalidated.
+			for step := 0; step < 8; step++ {
+				switch step % 3 {
+				case 0:
+					id := packet.NodeID(rng.Intn(f.N()))
+					f.Move(id, geom.Point{
+						X: bounds.Width() * rng.Float64(),
+						Y: bounds.Height() * rng.Float64(),
+					})
+				case 1:
+					f.RelocateFraction(0.1, rng)
+				case 2:
+					f.RelocateFraction(0.9, rng) // global invalidation path
+				}
+				checkAgainstBrute(t, f, fmt.Sprintf("after step %d", step))
+			}
+		})
+	}
+}
+
+// TestIndexMatchesBruteForceGrid pins the grid topology the figure
+// reproductions run on, including the chain field's degenerate geometry.
+func TestIndexMatchesBruteForceGrid(t *testing.T) {
+	m, err := radio.ScaledMICA2(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewGridField(169, 5, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBrute(t, f, "169-node grid")
+
+	chain, err := NewChainField(24, 5, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBrute(t, chain, "24-node chain")
+}
+
+// TestEpochInvalidation asserts the counter's contract: queries never bump
+// it, every mobility event bumps it exactly once, and a Move invalidates
+// the neighborhoods it leaves and enters but not distant nodes' caches.
+func TestEpochInvalidation(t *testing.T) {
+	f := mustGrid(t, 169, 5, scaled(t, 20))
+	e0 := f.Epoch()
+	f.ZoneNeighbors(0)
+	f.Contenders(80, 3)
+	if f.Epoch() != e0 {
+		t.Fatalf("queries changed the epoch: %d -> %d", e0, f.Epoch())
+	}
+	f.Move(0, geom.Point{X: 30, Y: 30})
+	if f.Epoch() != e0+1 {
+		t.Fatalf("Move bumped epoch to %d, want %d", f.Epoch(), e0+1)
+	}
+	f.RelocateFraction(0.05, sim.NewRNG(3))
+	if f.Epoch() != e0+2 {
+		t.Fatalf("RelocateFraction bumped epoch to %d, want %d", f.Epoch(), e0+2)
+	}
+	f.InvalidateAll()
+	if f.Epoch() != e0+3 {
+		t.Fatalf("InvalidateAll bumped epoch to %d, want %d", f.Epoch(), e0+3)
+	}
+
+	// A move across the field invalidates both neighborhoods: the destination
+	// neighborhood gains the mover, the origin neighborhood loses it.
+	far := packet.NodeID(168) // opposite corner from node 0
+	before := len(f.ZoneNeighbors(far))
+	f.Move(0, f.Pos(far).Add(geom.Point{X: -1, Y: 0}))
+	if got := len(f.ZoneNeighbors(far)); got != before+1 {
+		t.Fatalf("destination neighborhood size = %d, want %d", got, before+1)
+	}
+	origin := packet.NodeID(1)
+	wasNeighbor := false
+	for _, nb := range f.ZoneNeighbors(origin) {
+		if nb == 0 {
+			wasNeighbor = true
+		}
+	}
+	if wasNeighbor {
+		t.Fatal("origin neighborhood still lists the departed node")
+	}
+}
+
+// TestRelocateFractionCeiling is the regression table for the doc/behavior
+// mismatch: RelocateFraction moves ceil(frac·N) nodes, where the pre-fix
+// code truncated and then bumped zero to one. Rows with fractional frac·N
+// are the ones the truncation got wrong; the 0.1·100 row pins the
+// float-rounding hazard (float64(0.1)*100 > 10) that the magnitude-relative
+// tolerance absorbs.
+func TestRelocateFractionCeiling(t *testing.T) {
+	cases := []struct {
+		n    int
+		frac float64
+		want int
+	}{
+		{n: 100, frac: 0.1, want: 10},          // exact product, rounds in FP to 10.000000000000002
+		{n: 169, frac: 0.05, want: 9},          // 8.45 -> 9 (pre-fix: 8)
+		{n: 3, frac: 0.5, want: 2},             // 1.5  -> 2 (pre-fix: 1)
+		{n: 10, frac: 0.33, want: 4},           // 3.3  -> 4 (pre-fix: 3)
+		{n: 7, frac: 1.0 / 7, want: 1},         // FP product just below 1
+		{n: 200, frac: 0.005, want: 1},         // exactly 1
+		{n: 1, frac: 0.001, want: 1},           // floor of 1 node
+		{n: 49, frac: 1, want: 49},             // everything moves
+		{n: 49, frac: 2, want: 49},             // clamped above 1
+		{n: 1024, frac: 0.0009765625, want: 1}, // exactly 1/1024 of the stress grid
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("n=%d_frac=%v", c.n, c.frac), func(t *testing.T) {
+			f := mustGrid(t, c.n, 5, radio.MICA2())
+			moved := f.RelocateFraction(c.frac, sim.NewRNG(11))
+			if len(moved) != c.want {
+				t.Fatalf("RelocateFraction(%v) on %d nodes moved %d, want ceil=%d",
+					c.frac, c.n, len(moved), c.want)
+			}
+			frac := math.Min(c.frac, 1)
+			if want := int(math.Ceil(frac * float64(c.n) * (1 - 1e-12))); want != c.want {
+				t.Fatalf("test table inconsistent with ceiling for n=%d frac=%v", c.n, c.frac)
+			}
+		})
+	}
+}
+
+// TestQuerySteadyStateAllocFree pins the hot-path guarantee: once a node's
+// cache is warm, ReachedBy, Contenders, and ZoneNeighbors allocate nothing.
+func TestQuerySteadyStateAllocFree(t *testing.T) {
+	f := mustGrid(t, 169, 5, scaled(t, 20))
+	center := packet.NodeID(6*13 + 6)
+	for l := radio.Level(1); l <= f.Model().MinPower(); l++ {
+		f.ReachedBy(center, l) // warm
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for l := radio.Level(1); l <= f.Model().MinPower(); l++ {
+			_ = f.ReachedBy(center, l)
+			_ = f.Contenders(center, l)
+		}
+		_ = f.ZoneNeighbors(center)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state queries allocate %v per run, want 0", allocs)
+	}
+}
+
+// TestRebuildPreservesReturnedSlices pins the snapshot-safety half of the
+// ownership contract: a slice returned before a mobility event keeps its
+// contents after other rebuilds, because rebuilds swap in fresh backing
+// instead of writing in place.
+func TestRebuildPreservesReturnedSlices(t *testing.T) {
+	f := mustGrid(t, 49, 5, scaled(t, 15))
+	old := f.ZoneNeighbors(24)
+	snapshot := append([]packet.NodeID(nil), old...)
+	f.Move(0, geom.Point{X: 21, Y: 21}) // invalidates node 24's neighborhood
+	f.ZoneNeighbors(24)                 // rebuild
+	for i := range old {
+		if old[i] != snapshot[i] {
+			t.Fatal("rebuild mutated a previously returned slice")
+		}
+	}
+}

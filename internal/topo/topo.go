@@ -16,15 +16,50 @@ import (
 	"repro/internal/sim"
 )
 
-// Field is the set of node positions plus the shared radio model. It caches
-// zone-neighbor lists and invalidates them when nodes move.
+// Field is the set of node positions plus the shared radio model. Radio
+// queries (ZoneNeighbors, ReachedBy, Contenders) run against a spatial
+// index with per-node per-power-level neighbor caches — O(neighbors) and
+// allocation-free once warm; see index.go for the structure, the epoch
+// invalidation scheme, and the cache-ownership contract on returned slices.
 type Field struct {
 	model  *radio.Model
 	pos    []geom.Point
 	bounds geom.Rect
 
-	zoneCache [][]packet.NodeID
-	dirty     bool
+	rangeSq []float64 // rangeSq[l-1]: RangeM(l)², strictly decreasing
+	index   *spatialIndex
+	cache   []nodeCache
+
+	epoch     uint64   // mobility event counter, starts at 1
+	nodeEpoch []uint64 // last epoch node i's neighborhood changed
+
+	scratch      []candidate // rebuild workspace, reused across rebuilds
+	countScratch []int       // per-level counts, len == NumLevels
+}
+
+// newField wires the spatial index and empty caches over freshly placed
+// positions. Every cache starts invalid (epoch 0 < nodeEpoch 1), so first
+// queries build lazily through the index.
+func newField(m *radio.Model, pos []geom.Point, bounds geom.Rect) *Field {
+	f := &Field{
+		model:        m,
+		pos:          pos,
+		bounds:       bounds,
+		rangeSq:      make([]float64, m.NumLevels()),
+		cache:        make([]nodeCache, len(pos)),
+		epoch:        1,
+		nodeEpoch:    make([]uint64, len(pos)),
+		countScratch: make([]int, m.NumLevels()),
+	}
+	for l := range f.rangeSq {
+		r := m.RangeM(radio.Level(l + 1))
+		f.rangeSq[l] = r * r
+	}
+	for i := range f.nodeEpoch {
+		f.nodeEpoch[i] = 1
+	}
+	f.index = newSpatialIndex(bounds, m.MaxRange(), pos)
+	return f
 }
 
 // DefaultGridSpacing is the default inter-node distance in meters. 5 m on a
@@ -46,12 +81,7 @@ func NewGridField(n int, spacing float64, m *radio.Model) (*Field, error) {
 	}
 	pts := geom.GridPlacement(n, spacing)
 	side := float64(geom.GridSide(n)-1) * spacing
-	return &Field{
-		model:  m,
-		pos:    pts,
-		bounds: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: side, Y: side}},
-		dirty:  true,
-	}, nil
+	return newField(m, pts, geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: side, Y: side}}), nil
 }
 
 // NewUniformField places n nodes uniformly at random in bounds.
@@ -68,12 +98,7 @@ func NewUniformField(n int, bounds geom.Rect, m *radio.Model, rng *sim.RNG) (*Fi
 	if bounds.Area() <= 0 {
 		return nil, fmt.Errorf("topo: empty bounds %+v", bounds)
 	}
-	return &Field{
-		model:  m,
-		pos:    geom.UniformPlacement(n, bounds, rng.Float64),
-		bounds: bounds,
-		dirty:  true,
-	}, nil
+	return newField(m, geom.UniformPlacement(n, bounds, rng.Float64), bounds), nil
 }
 
 // NewChainField places n nodes on a straight line, the §4 analytic topology.
@@ -88,12 +113,7 @@ func NewChainField(n int, spacing float64, m *radio.Model) (*Field, error) {
 		return nil, fmt.Errorf("topo: nil radio model")
 	}
 	pts := geom.ChainPlacement(n, spacing)
-	return &Field{
-		model:  m,
-		pos:    pts,
-		bounds: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: float64(n-1) * spacing, Y: 0}},
-		dirty:  true,
-	}, nil
+	return newField(m, pts, geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: float64(n-1) * spacing, Y: 0}}), nil
 }
 
 // N returns the number of nodes.
@@ -125,12 +145,12 @@ func (f *Field) LevelTo(a, b packet.NodeID) (radio.Level, bool) {
 }
 
 // ZoneNeighbors returns the ids of the nodes within node id's zone
-// (reachable at maximum power), excluding id itself. The returned slice is
-// owned by the cache; callers must not modify it.
+// (reachable at maximum power), excluding id itself, sorted ascending. The
+// slice is cache-owned under the contract in index.go: do not modify it, do
+// not retain it across a mobility event.
 func (f *Field) ZoneNeighbors(id packet.NodeID) []packet.NodeID {
 	f.check(id)
-	f.rebuildZones()
-	return f.zoneCache[id]
+	return f.ensure(id).byLevel[0]
 }
 
 // InZone reports whether b lies within a's zone.
@@ -138,54 +158,55 @@ func (f *Field) InZone(a, b packet.NodeID) bool {
 	if a == b {
 		return false
 	}
-	return f.Dist(a, b) <= f.model.MaxRange()
+	f.check(a)
+	f.check(b)
+	return f.pos[a].Dist2(f.pos[b]) <= f.rangeSq[0]
+}
+
+// InRange reports whether b lies within a's radio range at level l — the
+// broadcast-reachability predicate ReachedBy materializes.
+func (f *Field) InRange(a, b packet.NodeID, l radio.Level) bool {
+	f.check(a)
+	f.check(b)
+	return f.pos[a].Dist2(f.pos[b]) <= f.levelRangeSq(l)
 }
 
 // Contenders returns how many nodes (including the transmitter itself) lie
 // within the transmitter's radio range at level l — the "n" of the MAC
-// G·n² contention model.
+// G·n² contention model. O(1) on a warm cache.
 func (f *Field) Contenders(id packet.NodeID, l radio.Level) int {
 	f.check(id)
-	r := f.model.RangeM(l)
-	n := 0
-	for i := range f.pos {
-		if f.pos[id].Dist(f.pos[i]) <= r {
-			n++
-		}
-	}
-	return n
+	return len(f.ensure(id).byLevel[f.levelIndex(l)]) + 1
 }
 
 // ReachedBy returns the ids of all nodes (excluding src) within src's radio
-// range at level l: the receivers of a broadcast at that level. The slice is
-// freshly allocated.
+// range at level l, sorted ascending: the receivers of a broadcast at that
+// level. The slice is cache-owned under the contract in index.go: do not
+// modify it, do not retain it across a mobility event.
 func (f *Field) ReachedBy(src packet.NodeID, l radio.Level) []packet.NodeID {
 	f.check(src)
-	r := f.model.RangeM(l)
-	var out []packet.NodeID
-	for i := range f.pos {
-		id := packet.NodeID(i)
-		if id == src {
-			continue
-		}
-		if f.pos[src].Dist(f.pos[i]) <= r {
-			out = append(out, id)
-		}
-	}
-	return out
+	return f.ensure(src).byLevel[f.levelIndex(l)]
 }
 
-// Move relocates node id, invalidating neighbor caches.
+// Move relocates node id, incrementally invalidating the neighbor caches of
+// the neighborhoods it leaves and enters.
 func (f *Field) Move(id packet.NodeID, p geom.Point) {
 	f.check(id)
-	f.pos[id] = f.bounds.Clamp(p)
-	f.dirty = true
+	np := f.bounds.Clamp(p)
+	f.epoch++
+	f.invalidateAround(f.pos[id])
+	f.pos[id] = np
+	f.index.move(id, np)
+	f.invalidateAround(np)
+	f.nodeEpoch[id] = f.epoch
 }
 
 // RelocateFraction moves ceil(frac·N) randomly chosen nodes to uniform
 // random positions in the field, returning the moved ids. This is the
 // paper's mobility event: "a predefined fraction of nodes move; the nodes
-// which are to move and their destination are chosen randomly."
+// which are to move and their destination are chosen randomly." The ceiling
+// uses a magnitude-relative tolerance so binary rounding in frac·N cannot
+// inflate the count (see ceilFrac).
 func (f *Field) RelocateFraction(frac float64, rng *sim.RNG) []packet.NodeID {
 	if frac <= 0 || rng == nil {
 		return nil
@@ -193,55 +214,62 @@ func (f *Field) RelocateFraction(frac float64, rng *sim.RNG) []packet.NodeID {
 	if frac > 1 {
 		frac = 1
 	}
-	k := int(frac * float64(len(f.pos)))
-	if k == 0 {
-		k = 1
-	}
+	k := ceilFrac(frac, len(f.pos))
 	perm := rng.Perm(len(f.pos))
 	moved := make([]packet.NodeID, 0, k)
+	f.epoch++
+	// Past ~half the field moving, per-move neighborhood stamping does more
+	// work than dirtying every node outright; either way cache contents —
+	// and therefore simulation output — are identical.
+	global := 2*k >= len(f.pos)
 	for _, idx := range perm[:k] {
 		id := packet.NodeID(idx)
-		f.pos[id] = geom.Point{
+		np := geom.Point{
 			X: f.bounds.Min.X + f.bounds.Width()*rng.Float64(),
 			Y: f.bounds.Min.Y + f.bounds.Height()*rng.Float64(),
 		}
+		if !global {
+			f.invalidateAround(f.pos[id])
+		}
+		f.pos[id] = np
+		f.index.move(id, np)
+		if !global {
+			f.invalidateAround(np)
+		}
+		f.nodeEpoch[id] = f.epoch
 		moved = append(moved, id)
 	}
-	f.dirty = true
+	if global {
+		for i := range f.nodeEpoch {
+			f.nodeEpoch[i] = f.epoch
+		}
+	}
 	return moved
 }
 
 // MeanZoneSize returns the average zone-neighbor count, a sanity metric the
 // experiments report (the paper expects 5–50 nodes per zone).
 func (f *Field) MeanZoneSize() float64 {
-	f.rebuildZones()
 	total := 0
-	for _, z := range f.zoneCache {
-		total += len(z)
+	for i := range f.pos {
+		total += len(f.ensure(packet.NodeID(i)).byLevel[0])
 	}
 	return float64(total) / float64(len(f.pos))
 }
 
-func (f *Field) rebuildZones() {
-	if !f.dirty && f.zoneCache != nil {
-		return
+// levelIndex maps a radio level to its rangeSq/byLevel index, panicking on
+// levels the model does not define (the pre-index code panicked through
+// Model.RangeM; the contract is unchanged).
+func (f *Field) levelIndex(l radio.Level) int {
+	if l < 1 || int(l) > len(f.rangeSq) {
+		panic(fmt.Sprintf("topo: invalid level %d (model has %d)", l, len(f.rangeSq)))
 	}
-	r := f.model.MaxRange()
-	cache := make([][]packet.NodeID, len(f.pos))
-	for i := range f.pos {
-		var zs []packet.NodeID
-		for j := range f.pos {
-			if i == j {
-				continue
-			}
-			if f.pos[i].Dist(f.pos[j]) <= r {
-				zs = append(zs, packet.NodeID(j))
-			}
-		}
-		cache[i] = zs
-	}
-	f.zoneCache = cache
-	f.dirty = false
+	return int(l) - 1
+}
+
+// levelRangeSq returns the squared range at level l.
+func (f *Field) levelRangeSq(l radio.Level) float64 {
+	return f.rangeSq[f.levelIndex(l)]
 }
 
 func (f *Field) check(id packet.NodeID) {
