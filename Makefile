@@ -5,7 +5,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test race bench bench-smoke figures clean
+.PHONY: all build test race cover fuzz-smoke golden-update bench bench-smoke figures clean
 
 all: build
 
@@ -17,6 +17,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# cover mirrors the CI coverage gate locally (the ratcheted baseline lives
+# in .github/workflows/ci.yml).
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# fuzz-smoke runs the CI fuzz budget against both strict JSON decoders.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeScenario -fuzztime=10s ./internal/experiment/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=10s ./internal/campaign/
+
+# golden-update regenerates the byte-level regression corpus under
+# testdata/golden/ after an intentional output change; commit the rewritten
+# files with an explanation of why the bytes moved.
+golden-update:
+	$(GO) test -run TestGolden -update -count=1 .
 
 # bench runs the full benchmark suite once (-benchtime=1x -benchmem) and
 # writes machine-readable results to BENCH_<date>.json. Commit a snapshot
@@ -37,4 +54,4 @@ figures:
 	$(GO) run ./cmd/figures -quick
 
 clean:
-	rm -f bench.json
+	rm -f bench.json coverage.out

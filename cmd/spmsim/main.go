@@ -12,6 +12,9 @@
 //	spmsim -protocol spin -nodes 100 -radius 15 -failures
 //	spmsim -protocol spms -workload cluster -radius 25 -cluster-interest 0.1
 //	spmsim -mobility -mobility-period 50ms -mobility-fraction 0.1 -radius 20
+//	spmsim -placement clustered -placement-clusters 5 -nodes 100 -radius 20
+//	spmsim -mobility -mobility-model waypoint -waypoint-speed-max 10 -radius 20
+//	spmsim -failures -failure-model burst -burst-radius 25 -radius 20
 //	spmsim -scenario scenario.json -seed 7
 //	spmsim -protocol spms -nodes 100 -radius 20 -replications 10
 //
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -40,15 +44,25 @@ func run() int {
 		scenarioPath = flag.String("scenario", "", "JSON scenario file to run (explicit flags override its fields)")
 		protoName    = flag.String("protocol", "spms", "protocol: spms | spin | flood")
 		wlName       = flag.String("workload", "all-to-all", "workload: all-to-all | cluster")
-		nodes        = flag.Int("nodes", 169, "number of sensor nodes (square grid)")
+		nodes        = flag.Int("nodes", 169, "number of sensor nodes")
 		radius       = flag.Float64("radius", 20, "maximum transmission radius in meters (zone radius)")
 		spacing      = flag.Float64("spacing", 5, "grid spacing in meters")
+		placement    = flag.String("placement", "grid", "node placement model: grid | uniform | chain | clustered")
+		placeK       = flag.Int("placement-clusters", 0, "clustered placement: number of Gaussian blobs (0 = default 4)")
+		placeSpread  = flag.Float64("placement-spread", 0, "clustered placement: per-axis blob deviation in meters (0 = 2×spacing)")
 		packets      = flag.Int("packets", 10, "data items generated per node")
 		clusterProb  = flag.Float64("cluster-interest", 0.05, "clustered workload: bystander interest probability in [0,1]")
-		failures     = flag.Bool("failures", false, "inject transient node failures (Table 1 parameters)")
-		mobility     = flag.Bool("mobility", false, "relocate nodes periodically (see -mobility-period, -mobility-fraction)")
+		failures     = flag.Bool("failures", false, "inject node failures (see -failure-model; Table 1 timing by default)")
+		failureModel = flag.String("failure-model", "transient", "failure model: transient | crash | burst")
+		burstRadius  = flag.Float64("burst-radius", 0, "burst failures: epicenter radius in meters (0 = zone radius)")
+		mobility     = flag.Bool("mobility", false, "move nodes periodically (see -mobility-model, -mobility-period, -mobility-fraction)")
+		mobModel     = flag.String("mobility-model", "relocate", "mobility model: relocate | waypoint")
 		mobPeriod    = flag.Duration("mobility-period", 100*time.Millisecond, "interval between mobility events")
-		mobFraction  = flag.Float64("mobility-fraction", 0.05, "fraction of nodes relocated per mobility event, in [0,1]")
+		mobFraction  = flag.Float64("mobility-fraction", 0.05, "fraction of nodes moving, in [0,1]")
+		wpSpeedMin   = flag.Float64("waypoint-speed-min", 0, "waypoint mobility: minimum leg speed in m/s (0 = default 5)")
+		wpSpeedMax   = flag.Float64("waypoint-speed-max", 0, "waypoint mobility: maximum leg speed in m/s (0 = default 15)")
+		wpPauseMin   = flag.Duration("waypoint-pause-min", 0, "waypoint mobility: minimum arrival pause")
+		wpPauseMax   = flag.Duration("waypoint-pause-max", 0, "waypoint mobility: maximum arrival pause (0 = default 100ms)")
 		carrier      = flag.Bool("carrier-sense", false, "serialize transmissions on a shared channel (MAC ablation)")
 		chargeDBF    = flag.Bool("charge-initial-dbf", false, "charge the initial DBF convergence energy, not just mobility re-runs")
 		seed         = flag.Int64("seed", 1, "simulation seed")
@@ -105,6 +119,20 @@ func run() int {
 	if use("spacing") {
 		sc.GridSpacing = *spacing
 	}
+	if use("placement") {
+		p, err := experiment.ParsePlacement(*placement)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+			return 2
+		}
+		sc.Placement = p
+	}
+	if use("placement-clusters") {
+		sc.PlacementClusters = *placeK
+	}
+	if use("placement-spread") {
+		sc.PlacementSpread = *placeSpread
+	}
 	if use("packets") {
 		sc.PacketsPerNode = *packets
 	}
@@ -114,14 +142,45 @@ func run() int {
 	if use("failures") {
 		sc.Failures = *failures
 	}
+	if use("failure-model") {
+		m, err := fault.ParseModel(*failureModel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+			return 2
+		}
+		sc.FailureCfg.Model = m
+	}
+	if use("burst-radius") {
+		sc.FailureCfg.BurstRadius = *burstRadius
+	}
 	if use("mobility") {
 		sc.Mobility = *mobility
+	}
+	if use("mobility-model") {
+		m, err := experiment.ParseMobilityModel(*mobModel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+			return 2
+		}
+		sc.MobilityModel = m
 	}
 	if use("mobility-period") {
 		sc.MobilityPeriod = *mobPeriod
 	}
 	if use("mobility-fraction") {
 		sc.MobilityFraction = *mobFraction
+	}
+	if use("waypoint-speed-min") {
+		sc.WaypointSpeedMin = *wpSpeedMin
+	}
+	if use("waypoint-speed-max") {
+		sc.WaypointSpeedMax = *wpSpeedMax
+	}
+	if use("waypoint-pause-min") {
+		sc.WaypointPauseMin = *wpPauseMin
+	}
+	if use("waypoint-pause-max") {
+		sc.WaypointPauseMax = *wpPauseMax
 	}
 	if use("carrier-sense") {
 		sc.CarrierSense = *carrier

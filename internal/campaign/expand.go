@@ -90,6 +90,9 @@ func rejectZero[T comparable](axis string, vs []T) error {
 // seed axis's count form against the base seed.
 func (s Spec) bindings() ([]binding, error) {
 	zeroChecks := []error{
+		rejectZero("placementClusters", s.Axes.PlacementClusters.Values),
+		rejectZero("placementSpread", s.Axes.PlacementSpread.Values),
+		rejectZero("burstRadius", s.Axes.BurstRadius.Values),
 		rejectZero("gridSpacing", s.Axes.GridSpacing.Values),
 		rejectZero("packetsPerNode", s.Axes.PacketsPerNode.Values),
 		rejectZero("meanArrival", s.Axes.MeanArrival.Values),
@@ -126,6 +129,20 @@ func (s Spec) bindings() ([]binding, error) {
 	}
 	add("workload", wls)
 
+	// Model axes list the zero-valued default model ("grid", "transient",
+	// "relocate") as a legitimate sweep value: unlike the zero-rejected
+	// numeric axes, the zero model is never replaced by WithDefaults — it
+	// IS the default model — so the emitted label always names what ran.
+	var places []axisValue
+	for _, p := range s.Axes.Placement {
+		p := p
+		places = append(places, axisValue{p.String(), func(sc *experiment.Scenario) { sc.Placement = p }})
+	}
+	add("placement", places)
+
+	add("placementClusters", intValues(s.Axes.PlacementClusters.Values, func(sc *experiment.Scenario, v int) { sc.PlacementClusters = v }))
+	add("placementSpread", floatValues(s.Axes.PlacementSpread.Values, func(sc *experiment.Scenario, v float64) { sc.PlacementSpread = v }))
+
 	add("nodes", intValues(s.Axes.Nodes.Values, func(sc *experiment.Scenario, v int) { sc.Nodes = v }))
 	add("gridSpacing", floatValues(s.Axes.GridSpacing.Values, func(sc *experiment.Scenario, v float64) { sc.GridSpacing = v }))
 	add("zoneRadius", floatValues(s.Axes.ZoneRadius.Values, func(sc *experiment.Scenario, v float64) { sc.ZoneRadius = v }))
@@ -133,7 +150,25 @@ func (s Spec) bindings() ([]binding, error) {
 	add("meanArrival", durationValues(s.Axes.MeanArrival.Values, func(sc *experiment.Scenario, v time.Duration) { sc.MeanArrival = v }))
 	add("clusterInterestProb", floatValues(s.Axes.ClusterInterestProb.Values, func(sc *experiment.Scenario, v float64) { sc.ClusterInterestProb = v }))
 	add("failures", boolValues(s.Axes.Failures, func(sc *experiment.Scenario, v bool) { sc.Failures = v }))
+
+	var fms []axisValue
+	for _, m := range s.Axes.FailureModel {
+		m := m
+		fms = append(fms, axisValue{m.String(), func(sc *experiment.Scenario) { sc.FailureCfg.Model = m }})
+	}
+	add("failureModel", fms)
+
+	add("burstRadius", floatValues(s.Axes.BurstRadius.Values, func(sc *experiment.Scenario, v float64) { sc.FailureCfg.BurstRadius = v }))
+
 	add("mobility", boolValues(s.Axes.Mobility, func(sc *experiment.Scenario, v bool) { sc.Mobility = v }))
+
+	var mms []axisValue
+	for _, m := range s.Axes.MobilityModel {
+		m := m
+		mms = append(mms, axisValue{m.String(), func(sc *experiment.Scenario) { sc.MobilityModel = m }})
+	}
+	add("mobilityModel", mms)
+
 	add("mobilityPeriod", durationValues(s.Axes.MobilityPeriod.Values, func(sc *experiment.Scenario, v time.Duration) { sc.MobilityPeriod = v }))
 	add("mobilityFraction", floatValues(s.Axes.MobilityFraction.Values, func(sc *experiment.Scenario, v float64) { sc.MobilityFraction = v }))
 	add("routeAlternatives", intValues(s.Axes.RouteAlternatives.Values, func(sc *experiment.Scenario, v int) { sc.RouteAlternatives = v }))

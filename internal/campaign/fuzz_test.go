@@ -1,0 +1,89 @@
+// fuzz_test.go fuzzes the strict campaign-spec decoder: ParseSpec must
+// never panic, and any accepted spec must expand (under a point-count
+// guard) and re-encode its base scenario stably — the same
+// decode→encode→decode contract the Scenario fuzzer enforces, applied
+// through the campaign document.
+//
+// CI runs a short `-fuzz` smoke on top of the seed corpus; locally:
+//
+//	go test -run=^$ -fuzz=FuzzDecodeSpec -fuzztime=30s ./internal/campaign/
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// fuzzMaxPoints bounds Expand during fuzzing: a fuzzer-built range can
+// legally expand to hundreds of thousands of points, which is correctness
+// we already test elsewhere but far too slow per fuzz iteration.
+const fuzzMaxPoints = 4096
+
+func FuzzDecodeSpec(f *testing.F) {
+	// Seed with every committed spec: the examples and the golden corpus.
+	for _, dir := range []string{
+		filepath.Join("..", "..", "examples", "campaigns"),
+		filepath.Join("..", "..", "testdata", "golden", "campaigns"),
+	} {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+		if err != nil {
+			f.Fatalf("glob %s: %v", dir, err)
+		}
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatalf("read %s: %v", p, err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"name":"n","base":{},"axes":{"nodes":{"from":1,"to":5,"step":2},"seed":{"count":3}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+
+		// Expansion must not panic on any accepted spec. Skip expansion
+		// for grids the fuzzer made huge: bindings() is cheap, so size the
+		// grid first.
+		bs, err := spec.bindings()
+		if err == nil {
+			total := 1
+			for _, b := range bs {
+				total *= len(b.values)
+				if total > fuzzMaxPoints {
+					total = -1
+					break
+				}
+			}
+			if total > 0 {
+				_, _ = Expand(spec)
+			}
+		}
+
+		// The base scenario is the re-encodable part of a spec: its wire
+		// form must round-trip stably.
+		enc, err := json.Marshal(spec.Base)
+		if err != nil {
+			return // unnamable numeric enum values; see the scenario fuzzer
+		}
+		var sc experiment.Scenario
+		if err := json.Unmarshal(enc, &sc); err != nil {
+			t.Fatalf("re-decode of own base encoding failed: %v\nencoding: %s", err, enc)
+		}
+		enc2, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("base encoding unstable:\n first %s\nsecond %s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// models_test.go covers the model-enum campaign axes: spec parsing,
+// canonical expansion order, label/scenario agreement, and the zero-reject
+// rules on the new parameter axes.
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/fault"
+)
+
+func TestModelAxesExpand(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+		"name": "model-axes",
+		"base": {
+			"protocol": "spms",
+			"workload": "all-to-all",
+			"nodes": 25,
+			"zoneRadius": 15,
+			"failures": true,
+			"mobility": true,
+			"seed": 1
+		},
+		"axes": {
+			"placement": ["grid", "clustered"],
+			"failureModel": ["transient", "burst"],
+			"mobilityModel": ["relocate", "waypoint"]
+		}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	c, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(c.Points) != 8 {
+		t.Fatalf("got %d points, want 8", len(c.Points))
+	}
+	wantAxes := []string{"placement", "failureModel", "mobilityModel"}
+	if len(c.AxisNames) != len(wantAxes) {
+		t.Fatalf("axis names %v, want %v", c.AxisNames, wantAxes)
+	}
+	for i, n := range wantAxes {
+		if c.AxisNames[i] != n {
+			t.Fatalf("axis %d = %q, want %q (canonical order)", i, c.AxisNames[i], n)
+		}
+	}
+	// Last axis varies fastest; every label must agree with the scenario
+	// it produced.
+	for i, p := range c.Points {
+		wantPlacement := []experiment.PlacementKind{experiment.PlaceGrid, experiment.PlaceClustered}[i/4]
+		wantFailure := []fault.Model{fault.Transient, fault.Burst}[(i/2)%2]
+		wantMobility := []experiment.MobilityKind{experiment.MobRelocate, experiment.MobWaypoint}[i%2]
+		if p.Scenario.Placement != wantPlacement || p.Scenario.FailureCfg.Model != wantFailure || p.Scenario.MobilityModel != wantMobility {
+			t.Fatalf("point %d scenario (%v, %v, %v), want (%v, %v, %v)", i,
+				p.Scenario.Placement, p.Scenario.FailureCfg.Model, p.Scenario.MobilityModel,
+				wantPlacement, wantFailure, wantMobility)
+		}
+		if got := p.Params[0].Value; got != wantPlacement.String() {
+			t.Fatalf("point %d placement label %q, want %q", i, got, wantPlacement.String())
+		}
+		if got := p.Params[1].Value; got != wantFailure.String() {
+			t.Fatalf("point %d failure label %q, want %q", i, got, wantFailure.String())
+		}
+		if got := p.Params[2].Value; got != wantMobility.String() {
+			t.Fatalf("point %d mobility label %q, want %q", i, got, wantMobility.String())
+		}
+		// Burst points inherit the zone radius as default burst radius;
+		// expansion must produce fully defaulted, valid scenarios.
+		if wantFailure == fault.Burst && p.Scenario.FailureCfg.BurstRadius != p.Scenario.ZoneRadius {
+			t.Fatalf("point %d burst radius %v, want zone radius %v", i, p.Scenario.FailureCfg.BurstRadius, p.Scenario.ZoneRadius)
+		}
+		if wantMobility == experiment.MobWaypoint && p.Scenario.WaypointSpeedMax == 0 {
+			t.Fatalf("point %d waypoint scenario missing speed defaults", i)
+		}
+	}
+}
+
+func TestModelParamAxes(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+		"name": "burst-sweep",
+		"base": {
+			"protocol": "spms", "workload": "all-to-all",
+			"nodes": 25, "zoneRadius": 15, "failures": true,
+			"failureConfig": {"model": "burst"},
+			"seed": 1
+		},
+		"axes": {"burstRadius": [10, 20, 30]}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	c, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(c.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(c.Points))
+	}
+	for i, want := range []float64{10, 20, 30} {
+		if got := c.Points[i].Scenario.FailureCfg.BurstRadius; got != want {
+			t.Fatalf("point %d burst radius %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestFailureModelBurstRadiusCrossSweep: the radius parameter is ignored
+// by non-burst models (like any unselected model's knobs), so the cross
+// product of the model axis and the radius axis must expand.
+func TestFailureModelBurstRadiusCrossSweep(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{
+		"name": "cross",
+		"base": {"protocol": "spms", "workload": "all-to-all", "nodes": 25, "zoneRadius": 15, "failures": true, "seed": 1},
+		"axes": {"failureModel": ["transient", "burst"], "burstRadius": [10, 20]}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	c, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(c.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(c.Points))
+	}
+}
+
+func TestModelAxesRejectZero(t *testing.T) {
+	for _, axes := range []string{
+		`{"placementClusters": [0, 4]}`,
+		`{"placementSpread": [0, 2.5]}`,
+		`{"burstRadius": [0, 10]}`,
+	} {
+		spec, err := ParseSpec(strings.NewReader(`{
+			"name": "zeroes",
+			"base": {"protocol": "spms", "workload": "all-to-all", "nodes": 25, "zoneRadius": 15, "seed": 1},
+			"axes": ` + axes + `}`))
+		if err != nil {
+			t.Fatalf("ParseSpec(%s): %v", axes, err)
+		}
+		if _, err := Expand(spec); err == nil {
+			t.Fatalf("zero value in %s accepted", axes)
+		}
+	}
+}
+
+func TestUnknownModelNameRejected(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{
+		"name": "typo",
+		"base": {"protocol": "spms", "workload": "all-to-all", "nodes": 25, "zoneRadius": 15, "seed": 1},
+		"axes": {"placement": ["hexgrid"]}
+	}`))
+	if err == nil {
+		t.Fatal("unknown placement name accepted")
+	}
+	_, err = ParseSpec(strings.NewReader(`{
+		"name": "typo2",
+		"base": {"protocol": "spms", "workload": "all-to-all", "nodes": 25, "zoneRadius": 15, "seed": 1},
+		"axes": {"failureModel": ["meteor"]}
+	}`))
+	if err == nil {
+		t.Fatal("unknown failure model name accepted")
+	}
+}

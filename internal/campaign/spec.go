@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fault"
 )
 
 // Spec is a campaign file: a named base scenario plus the axes to sweep.
@@ -45,22 +46,28 @@ type Spec struct {
 // of names; numeric and duration axes accept either a list or a range
 // object (see IntAxis).
 type Axes struct {
-	Protocol            []experiment.Protocol     `json:"protocol,omitempty"`
-	Workload            []experiment.WorkloadKind `json:"workload,omitempty"`
-	Nodes               IntAxis                   `json:"nodes,omitempty"`
-	GridSpacing         FloatAxis                 `json:"gridSpacing,omitempty"`
-	ZoneRadius          FloatAxis                 `json:"zoneRadius,omitempty"`
-	PacketsPerNode      IntAxis                   `json:"packetsPerNode,omitempty"`
-	MeanArrival         DurationAxis              `json:"meanArrival,omitempty"`
-	ClusterInterestProb FloatAxis                 `json:"clusterInterestProb,omitempty"`
-	Failures            []bool                    `json:"failures,omitempty"`
-	Mobility            []bool                    `json:"mobility,omitempty"`
-	MobilityPeriod      DurationAxis              `json:"mobilityPeriod,omitempty"`
-	MobilityFraction    FloatAxis                 `json:"mobilityFraction,omitempty"`
-	RouteAlternatives   IntAxis                   `json:"routeAlternatives,omitempty"`
-	CarrierSense        []bool                    `json:"carrierSense,omitempty"`
-	Drain               DurationAxis              `json:"drain,omitempty"`
-	Seed                SeedAxis                  `json:"seed,omitempty"`
+	Protocol            []experiment.Protocol      `json:"protocol,omitempty"`
+	Workload            []experiment.WorkloadKind  `json:"workload,omitempty"`
+	Placement           []experiment.PlacementKind `json:"placement,omitempty"`
+	PlacementClusters   IntAxis                    `json:"placementClusters,omitempty"`
+	PlacementSpread     FloatAxis                  `json:"placementSpread,omitempty"`
+	Nodes               IntAxis                    `json:"nodes,omitempty"`
+	GridSpacing         FloatAxis                  `json:"gridSpacing,omitempty"`
+	ZoneRadius          FloatAxis                  `json:"zoneRadius,omitempty"`
+	PacketsPerNode      IntAxis                    `json:"packetsPerNode,omitempty"`
+	MeanArrival         DurationAxis               `json:"meanArrival,omitempty"`
+	ClusterInterestProb FloatAxis                  `json:"clusterInterestProb,omitempty"`
+	Failures            []bool                     `json:"failures,omitempty"`
+	FailureModel        []fault.Model              `json:"failureModel,omitempty"`
+	BurstRadius         FloatAxis                  `json:"burstRadius,omitempty"`
+	Mobility            []bool                     `json:"mobility,omitempty"`
+	MobilityModel       []experiment.MobilityKind  `json:"mobilityModel,omitempty"`
+	MobilityPeriod      DurationAxis               `json:"mobilityPeriod,omitempty"`
+	MobilityFraction    FloatAxis                  `json:"mobilityFraction,omitempty"`
+	RouteAlternatives   IntAxis                    `json:"routeAlternatives,omitempty"`
+	CarrierSense        []bool                     `json:"carrierSense,omitempty"`
+	Drain               DurationAxis               `json:"drain,omitempty"`
+	Seed                SeedAxis                   `json:"seed,omitempty"`
 }
 
 // IntAxis is either an explicit list ([25, 49, 100]) or an inclusive

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dissem"
 	"repro/internal/fault"
 	"repro/internal/flood"
+	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/network"
 	"repro/internal/packet"
@@ -72,10 +73,64 @@ func (w WorkloadKind) String() string {
 	}
 }
 
+// PlacementKind selects the node-placement model. The zero value is the
+// paper's square grid, so pre-existing scenarios are untouched by the
+// model registry (the zero-value-compatibility contract, DESIGN.md §9).
+type PlacementKind int
+
+// Placement models.
+const (
+	PlaceGrid      PlacementKind = iota // §5.1 square grid (the zero value)
+	PlaceUniform                        // uniform random over the field square
+	PlaceChain                          // §4 analytic straight line
+	PlaceClustered                      // Gaussian blobs around seeded centers
+)
+
+// String names the placement as spec files and flags do.
+func (p PlacementKind) String() string {
+	switch p {
+	case PlaceGrid:
+		return "grid"
+	case PlaceUniform:
+		return "uniform"
+	case PlaceChain:
+		return "chain"
+	case PlaceClustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("PlacementKind(%d)", int(p))
+	}
+}
+
+// MobilityKind selects the mobility model. The zero value is the paper's
+// periodic fractional relocation (§5.1.3).
+type MobilityKind int
+
+// Mobility models.
+const (
+	MobRelocate MobilityKind = iota // §5.1.3 teleporting relocation (the zero value)
+	MobWaypoint                     // random waypoint with speed/pause ranges
+)
+
+// String names the mobility model as spec files and flags do.
+func (m MobilityKind) String() string {
+	switch m {
+	case MobRelocate:
+		return "relocate"
+	case MobWaypoint:
+		return "waypoint"
+	default:
+		return fmt.Sprintf("MobilityKind(%d)", int(m))
+	}
+}
+
 // Scenario is one fully specified simulation run. The JSON form (tags
 // below, codecs in json.go) is the wire format of campaign spec files and
-// result-sink tagging: protocols and workloads appear as names ("spms",
-// "all-to-all") and durations as Go duration strings ("2.5ms").
+// result-sink tagging: protocols, workloads, and models appear as names
+// ("spms", "all-to-all", "clustered") and durations as Go duration strings
+// ("2.5ms"). Every model-selection field's zero value is the paper's
+// model, so a scenario written before the model registry existed runs —
+// and serializes — exactly as it always did.
 type Scenario struct {
 	Protocol Protocol     `json:"protocol,omitempty"`
 	Workload WorkloadKind `json:"workload,omitempty"`
@@ -87,21 +142,46 @@ type Scenario struct {
 	GridSpacing float64 `json:"gridSpacing,omitempty"`
 	ZoneRadius  float64 `json:"zoneRadius,omitempty"`
 
+	// Placement selects the node layout. Uniform and clustered layouts
+	// span the same square the grid would occupy (keeping density
+	// comparable at fixed n); chain is the §4 line. PlacementClusters and
+	// PlacementSpread parameterize the clustered model: k Gaussian blobs
+	// with per-axis deviation of spread meters (defaults: 4 clusters,
+	// 2·GridSpacing spread).
+	Placement         PlacementKind `json:"placement,omitempty"`
+	PlacementClusters int           `json:"placementClusters,omitempty"`
+	PlacementSpread   float64       `json:"placementSpread,omitempty"`
+
 	// Traffic.
 	PacketsPerNode      int           `json:"packetsPerNode,omitempty"`
 	MeanArrival         time.Duration `json:"meanArrival,omitempty"`
 	ClusterInterestProb float64       `json:"clusterInterestProb,omitempty"` // Clustered only; default 5%
 
-	// Failures (§5.1.2). Zero FailureCfg means fault.DefaultConfig.
+	// Failures. FailureCfg.Model selects the process — the paper's
+	// transient model (§5.1.2, the zero value), permanent crash-stop, or
+	// spatially correlated bursts. A FailureCfg that sets nothing but the
+	// model (and, for bursts, the radius) inherits Table 1's timing
+	// defaults; a fully zero FailureCfg means fault.DefaultConfig, exactly
+	// as before the model registry.
 	Failures   bool         `json:"failures,omitempty"`
 	FailureCfg fault.Config `json:"failureConfig"`
 
-	// Mobility (§5.1.3): every MobilityPeriod, MobilityFraction of the
-	// nodes relocates and (for SPMS) routing re-converges, charged as
-	// control energy.
+	// Mobility (§5.1.3): every MobilityPeriod a mobility event fires and
+	// (for SPMS) routing re-converges, charged as control energy. The
+	// model decides what an event does: MobRelocate teleports
+	// MobilityFraction of the nodes to random positions (the paper's
+	// model); MobWaypoint advances the same fraction of nodes along
+	// random-waypoint trajectories, each leg at a uniform speed from
+	// [WaypointSpeedMin, WaypointSpeedMax] m/s with arrival pauses from
+	// [WaypointPauseMin, WaypointPauseMax].
 	Mobility         bool          `json:"mobility,omitempty"`
+	MobilityModel    MobilityKind  `json:"mobilityModel,omitempty"`
 	MobilityPeriod   time.Duration `json:"mobilityPeriod,omitempty"`
 	MobilityFraction float64       `json:"mobilityFraction,omitempty"`
+	WaypointSpeedMin float64       `json:"waypointSpeedMin,omitempty"`
+	WaypointSpeedMax float64       `json:"waypointSpeedMax,omitempty"`
+	WaypointPauseMin time.Duration `json:"waypointPauseMin,omitempty"`
+	WaypointPauseMax time.Duration `json:"waypointPauseMax,omitempty"`
 
 	// Protocol tuning.
 	SPMSConfig        core.Config `json:"spmsConfig"`                  // zero value means core.DefaultConfig
@@ -129,6 +209,15 @@ type Scenario struct {
 const (
 	DefaultDrain       = 3 * time.Second
 	DefaultGridSpacing = topo.DefaultGridSpacing
+
+	// Clustered placement: 4 blobs spread 2·GridSpacing meters each.
+	DefaultPlacementClusters = 4
+
+	// Waypoint mobility: brisk 5–15 m/s legs with up to 100 ms pauses, so
+	// a short simulated run still sees real topology churn.
+	DefaultWaypointSpeedMin = 5.0
+	DefaultWaypointSpeedMax = 15.0
+	DefaultWaypointPauseMax = 100 * time.Millisecond
 )
 
 // mobilityActiveTail is how far past the last origination mobility events
@@ -151,8 +240,31 @@ func (s Scenario) WithDefaults() Scenario {
 	if s.ClusterInterestProb == 0 {
 		s.ClusterInterestProb = workload.DefaultClusterInterestProb
 	}
-	if s.Failures && s.FailureCfg == (fault.Config{}) {
-		s.FailureCfg = fault.DefaultConfig()
+	if s.Placement == PlaceClustered {
+		if s.PlacementClusters == 0 {
+			s.PlacementClusters = DefaultPlacementClusters
+		}
+		if s.PlacementSpread == 0 {
+			s.PlacementSpread = 2 * s.GridSpacing
+		}
+	}
+	if s.Failures {
+		// A config that sets nothing beyond the model selection (model,
+		// burst radius) inherits Table 1's timing; a config with any
+		// explicit timing is taken literally — exactly the pre-registry
+		// rule, which only special-cased the fully zero config.
+		timing := s.FailureCfg
+		timing.Model, timing.BurstRadius = 0, 0
+		if timing == (fault.Config{}) {
+			d := fault.DefaultConfig()
+			d.Model, d.BurstRadius = s.FailureCfg.Model, s.FailureCfg.BurstRadius
+			s.FailureCfg = d
+		}
+		if s.FailureCfg.Model == fault.Burst && s.FailureCfg.BurstRadius == 0 {
+			// One zone radius knocks out a node's whole reachable region —
+			// the stressor the protocol's multipath failover targets.
+			s.FailureCfg.BurstRadius = s.ZoneRadius
+		}
 	}
 	if s.Mobility {
 		if s.MobilityPeriod == 0 {
@@ -160,6 +272,22 @@ func (s Scenario) WithDefaults() Scenario {
 		}
 		if s.MobilityFraction == 0 {
 			s.MobilityFraction = 0.05
+		}
+		if s.MobilityModel == MobWaypoint {
+			if s.WaypointSpeedMax == 0 {
+				s.WaypointSpeedMax = DefaultWaypointSpeedMax
+			}
+			if s.WaypointSpeedMin == 0 {
+				// Clamp so an explicit slow max (below the default min)
+				// yields a fixed speed instead of an inverted range.
+				s.WaypointSpeedMin = DefaultWaypointSpeedMin
+				if s.WaypointSpeedMin > s.WaypointSpeedMax {
+					s.WaypointSpeedMin = s.WaypointSpeedMax
+				}
+			}
+			if s.WaypointPauseMax == 0 {
+				s.WaypointPauseMax = DefaultWaypointPauseMax
+			}
 		}
 	}
 	if s.SPMSConfig == (core.Config{}) {
@@ -195,6 +323,15 @@ func (s Scenario) Validate() error {
 	if s.ZoneRadius <= 0 {
 		return fmt.Errorf("experiment: non-positive zone radius %v", s.ZoneRadius)
 	}
+	if s.Placement < PlaceGrid || s.Placement > PlaceClustered {
+		return fmt.Errorf("experiment: unknown placement %d", int(s.Placement))
+	}
+	if s.PlacementClusters < 0 {
+		return fmt.Errorf("experiment: negative placement clusters %d", s.PlacementClusters)
+	}
+	if s.PlacementSpread < 0 {
+		return fmt.Errorf("experiment: negative placement spread %v", s.PlacementSpread)
+	}
 	if s.PacketsPerNode < 0 {
 		return fmt.Errorf("experiment: negative packets per node %d", s.PacketsPerNode)
 	}
@@ -204,16 +341,38 @@ func (s Scenario) Validate() error {
 	if s.ClusterInterestProb < 0 || s.ClusterInterestProb > 1 {
 		return fmt.Errorf("experiment: cluster interest probability %v outside [0,1]", s.ClusterInterestProb)
 	}
+	// The model enum is checked even with failures off (like Placement and
+	// MobilityModel): an unnamable numeric model would otherwise survive
+	// to fail Scenario marshaling mid-campaign. The full config is only
+	// validated when it will actually run.
+	if m := s.FailureCfg.Model; m < fault.Transient || m > fault.Burst {
+		return fmt.Errorf("experiment: unknown failure model %d", int(m))
+	}
 	if s.Failures && s.FailureCfg != (fault.Config{}) {
 		if err := s.FailureCfg.Validate(); err != nil {
 			return fmt.Errorf("experiment: %w", err)
 		}
+	}
+	if s.MobilityModel < MobRelocate || s.MobilityModel > MobWaypoint {
+		return fmt.Errorf("experiment: unknown mobility model %d", int(s.MobilityModel))
 	}
 	if s.MobilityPeriod < 0 {
 		return fmt.Errorf("experiment: negative mobility period %v", s.MobilityPeriod)
 	}
 	if s.MobilityFraction < 0 || s.MobilityFraction > 1 {
 		return fmt.Errorf("experiment: mobility fraction %v outside [0,1]", s.MobilityFraction)
+	}
+	if s.WaypointSpeedMin < 0 || s.WaypointSpeedMax < 0 {
+		return fmt.Errorf("experiment: negative waypoint speed [%v, %v]", s.WaypointSpeedMin, s.WaypointSpeedMax)
+	}
+	if s.WaypointSpeedMax != 0 && s.WaypointSpeedMax < s.WaypointSpeedMin {
+		return fmt.Errorf("experiment: waypoint speed range [%v, %v] inverted", s.WaypointSpeedMin, s.WaypointSpeedMax)
+	}
+	if s.WaypointPauseMin < 0 || s.WaypointPauseMax < 0 {
+		return fmt.Errorf("experiment: negative waypoint pause [%v, %v]", s.WaypointPauseMin, s.WaypointPauseMax)
+	}
+	if s.WaypointPauseMax != 0 && s.WaypointPauseMax < s.WaypointPauseMin {
+		return fmt.Errorf("experiment: waypoint pause window [%v, %v] inverted", s.WaypointPauseMin, s.WaypointPauseMax)
 	}
 	if s.RouteAlternatives < 0 {
 		return fmt.Errorf("experiment: negative route alternatives %d", s.RouteAlternatives)
@@ -276,17 +435,22 @@ func Run(sc Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	field, err := topo.NewGridField(sc.Nodes, sc.GridSpacing, model)
-	if err != nil {
-		return Result{}, err
-	}
 
 	sched := sim.NewScheduler()
 	root := sim.NewRNG(sc.Seed)
+	// Fork order is part of the determinism contract: each subsystem owns
+	// a stream, and placeRNG forks last so pre-registry scenarios (whose
+	// grid placement draws nothing) keep their historical streams.
 	wlRNG := root.Fork()
 	netRNG := root.Fork()
 	failRNG := root.Fork()
 	mobRNG := root.Fork()
+	placeRNG := root.Fork()
+
+	field, err := buildField(sc, model, placeRNG)
+	if err != nil {
+		return Result{}, err
+	}
 
 	nw, err := network.New(sched, field, netRNG, network.Config{
 		Sizes:        packet.DefaultSizes(),
@@ -345,6 +509,7 @@ func Run(sc Scenario) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		injector.SetLocator(field)
 		if err := injector.Start(); err != nil {
 			return Result{}, err
 		}
@@ -360,7 +525,9 @@ func Run(sc Scenario) (Result, error) {
 		if activeEnd > horizon {
 			activeEnd = horizon
 		}
-		scheduleMobility(&res, sc, sched, field, mobRNG, nw, spms, activeEnd)
+		if err := scheduleMobility(&res, sc, sched, field, mobRNG, nw, spms, activeEnd); err != nil {
+			return Result{}, err
+		}
 	}
 
 	gen.Schedule(sched, proto)
@@ -381,18 +548,59 @@ func newFloodSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.
 	return flood.NewSystem(nw, ledger, interest, core.DefaultProc)
 }
 
-// scheduleMobility arms the recurring relocation events. Re-convergence is
-// instantaneous in virtual time (a documented simplification; see
+// buildField constructs the scenario's node layout. Uniform and clustered
+// placements span the same square the grid layout would occupy (side =
+// (GridSide(n)-1)·spacing), keeping node density comparable across
+// placement models at a fixed node count.
+func buildField(sc Scenario, model *radio.Model, rng *sim.RNG) (*topo.Field, error) {
+	switch sc.Placement {
+	case PlaceGrid:
+		return topo.NewGridField(sc.Nodes, sc.GridSpacing, model)
+	case PlaceUniform:
+		return topo.NewUniformField(sc.Nodes, placementBounds(sc), model, rng)
+	case PlaceChain:
+		return topo.NewChainField(sc.Nodes, sc.GridSpacing, model)
+	case PlaceClustered:
+		return topo.NewClusteredField(sc.Nodes, sc.PlacementClusters, sc.PlacementSpread, placementBounds(sc), model, rng)
+	default:
+		return nil, fmt.Errorf("experiment: unknown placement %d", int(sc.Placement))
+	}
+}
+
+// placementBounds is the field square the random placements draw in: the
+// rectangle the same node count would occupy on the grid.
+func placementBounds(sc Scenario) geom.Rect {
+	side := float64(geom.GridSide(sc.Nodes)-1) * sc.GridSpacing
+	return geom.Rect{Max: geom.Point{X: side, Y: side}}
+}
+
+// scheduleMobility arms the recurring mobility events of the scenario's
+// model — per-event teleport relocation (MobRelocate, the paper's §5.1.3)
+// or continuous random-waypoint advancement (MobWaypoint). Re-convergence
+// is instantaneous in virtual time (a documented simplification; see
 // DESIGN.md) but its radio traffic is fully charged as control energy —
-// the §5.1.3 cost model.
+// the §5.1.3 cost model, applied identically under both models.
 func scheduleMobility(res *Result, sc Scenario, sched *sim.Scheduler, field *topo.Field,
-	rng *sim.RNG, nw *network.Network, spms *core.System, horizon time.Duration) {
+	rng *sim.RNG, nw *network.Network, spms *core.System, horizon time.Duration) error {
+	step := func() { field.RelocateFraction(sc.MobilityFraction, rng) }
+	if sc.MobilityModel == MobWaypoint {
+		wp, err := topo.NewWaypoint(field, topo.WaypointConfig{
+			SpeedMin: sc.WaypointSpeedMin,
+			SpeedMax: sc.WaypointSpeedMax,
+			PauseMin: sc.WaypointPauseMin,
+			PauseMax: sc.WaypointPauseMax,
+		}, sc.MobilityFraction, rng)
+		if err != nil {
+			return err
+		}
+		step = func() { wp.Advance(sc.MobilityPeriod) }
+	}
 	var tick func()
 	tick = func() {
 		if sched.Now() >= horizon {
 			return
 		}
-		field.RelocateFraction(sc.MobilityFraction, rng)
+		step()
 		res.MobilityEvents++
 		if spms != nil {
 			fresh := routing.Compute(routing.BuildGraph(field), sc.RouteAlternatives)
@@ -402,6 +610,7 @@ func scheduleMobility(res *Result, sc Scenario, sched *sim.Scheduler, field *top
 		sched.After(sc.MobilityPeriod, tick)
 	}
 	sched.After(sc.MobilityPeriod, tick)
+	return nil
 }
 
 // fillResult converts raw collectors into the Result summary.

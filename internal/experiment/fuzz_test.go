@@ -1,0 +1,77 @@
+// fuzz_test.go fuzzes the strict Scenario JSON decoder: whatever bytes
+// arrive, decoding must never panic, Validate (raw and defaulted) must
+// never panic, and any decodable scenario that re-encodes must round-trip
+// stably — decode → encode → decode → encode yields identical bytes, the
+// property campaign sinks rely on for byte-identical output.
+//
+// CI runs a short `-fuzz` smoke on top of the seed corpus; locally:
+//
+//	go test -run=^$ -fuzz=FuzzDecodeScenario -fuzztime=30s ./internal/experiment/
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// fuzzSeedScenarios covers every wire field at least once, including the
+// model registry's placement/mobility/failure forms.
+var fuzzSeedScenarios = []string{
+	`{}`,
+	`{"protocol":"spms","workload":"all-to-all","nodes":169,"zoneRadius":20,"seed":1}`,
+	`{"protocol":"spin","workload":"clustered","nodes":25,"zoneRadius":15,"clusterInterestProb":0.1,"drain":"2s"}`,
+	`{"protocol":"flood","nodes":49,"zoneRadius":10,"meanArrival":"1ms","packetsPerNode":2,"replications":5}`,
+	`{"protocol":"spms","workload":"all-to-all","nodes":100,"zoneRadius":20,"failures":true,
+	  "failureConfig":{"meanInterArrival":"50ms","repairMin":"5ms","repairMax":"15ms"}}`,
+	`{"protocol":"spms","workload":"all-to-all","nodes":100,"zoneRadius":20,"failures":true,
+	  "failureConfig":{"model":"burst","burstRadius":25}}`,
+	`{"protocol":"spms","workload":"all-to-all","nodes":100,"zoneRadius":20,"failures":true,
+	  "failureConfig":{"model":"crash","meanInterArrival":"500ms"}}`,
+	`{"protocol":"spms","workload":"all-to-all","nodes":100,"zoneRadius":20,
+	  "placement":"clustered","placementClusters":5,"placementSpread":7.5}`,
+	`{"protocol":"spms","workload":"all-to-all","nodes":100,"zoneRadius":20,"placement":"chain"}`,
+	`{"protocol":"spms","workload":"all-to-all","nodes":100,"zoneRadius":20,"mobility":true,
+	  "mobilityModel":"waypoint","waypointSpeedMin":2,"waypointSpeedMax":8,
+	  "waypointPauseMin":"5ms","waypointPauseMax":"50ms","mobilityPeriod":"100ms","mobilityFraction":0.1}`,
+	`{"protocol":"spms","workload":"all-to-all","nodes":100,"zoneRadius":20,
+	  "spmsConfig":{"tOutADV":"1ms","tOutDAT":"2.5ms","proc":"20µs","autoTimeouts":true,"maxAttempts":4},
+	  "routeAlternatives":3,"carrierSense":true,"chargeInitialDBF":true}`,
+	`{"protocol":2,"workload":1,"nodes":10,"zoneRadius":5,"mobilityModel":1,"placement":3}`,
+}
+
+func FuzzDecodeScenario(f *testing.F) {
+	for _, s := range fuzzSeedScenarios {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sc Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		_ = sc.Validate()                // must not panic on raw decodes
+		_ = sc.WithDefaults().Validate() // nor after defaulting
+
+		enc, err := json.Marshal(sc)
+		if err != nil {
+			// Numeric enum forms can decode values that have no name and
+			// therefore no wire form; such scenarios are unmarshalable by
+			// design (Validate rejects them too).
+			return
+		}
+		var back Scenario
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoding: %s", err, enc)
+		}
+		if back != sc {
+			t.Fatalf("decode→encode→decode changed the scenario:\n first %+v\nsecond %+v\nwire %s", sc, back, enc)
+		}
+		enc2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding unstable:\n first %s\nsecond %s", enc, enc2)
+		}
+	})
+}

@@ -110,6 +110,102 @@ func ParseWorkload(s string) (WorkloadKind, error) {
 	}
 }
 
+// MarshalJSON writes the placement name ("grid", "uniform", "chain",
+// "clustered").
+func (p PlacementKind) MarshalJSON() ([]byte, error) {
+	switch p {
+	case PlaceGrid, PlaceUniform, PlaceChain, PlaceClustered:
+		return json.Marshal(p.String())
+	default:
+		return nil, fmt.Errorf("experiment: cannot marshal unknown placement %d", int(p))
+	}
+}
+
+// UnmarshalJSON accepts a placement name (case-insensitive) or its numeric
+// value.
+func (p *PlacementKind) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		v, err := ParsePlacement(s)
+		if err != nil {
+			return err
+		}
+		*p = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return err
+	}
+	*p = PlacementKind(n)
+	return nil
+}
+
+// ParsePlacement resolves a placement name as used in flags and spec files.
+func ParsePlacement(s string) (PlacementKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "grid":
+		return PlaceGrid, nil
+	case "uniform":
+		return PlaceUniform, nil
+	case "chain":
+		return PlaceChain, nil
+	case "cluster", "clustered":
+		return PlaceClustered, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown placement %q (want grid | uniform | chain | clustered)", s)
+	}
+}
+
+// MarshalJSON writes the mobility-model name ("relocate", "waypoint").
+func (m MobilityKind) MarshalJSON() ([]byte, error) {
+	switch m {
+	case MobRelocate, MobWaypoint:
+		return json.Marshal(m.String())
+	default:
+		return nil, fmt.Errorf("experiment: cannot marshal unknown mobility model %d", int(m))
+	}
+}
+
+// UnmarshalJSON accepts a mobility-model name (case-insensitive) or its
+// numeric value.
+func (m *MobilityKind) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		v, err := ParseMobilityModel(s)
+		if err != nil {
+			return err
+		}
+		*m = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return err
+	}
+	*m = MobilityKind(n)
+	return nil
+}
+
+// ParseMobilityModel resolves a mobility-model name as used in flags and
+// spec files.
+func ParseMobilityModel(s string) (MobilityKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "relocate", "relocation":
+		return MobRelocate, nil
+	case "waypoint", "random-waypoint":
+		return MobWaypoint, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown mobility model %q (want relocate | waypoint)", s)
+	}
+}
+
 // FlexDuration marshals as a Go duration string and unmarshals from
 // either a duration string or integer nanoseconds. Exported so other
 // spec layers (internal/campaign's duration axes) share the one codec
@@ -141,18 +237,24 @@ func (d *FlexDuration) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// faultConfigJSON is fault.Config's wire form (duration strings).
+// faultConfigJSON is fault.Config's wire form (named model, duration
+// strings). The model and burst-radius fields omit their zero values, so a
+// pre-registry transient config serializes byte-identically to before.
 type faultConfigJSON struct {
+	Model            fault.Model  `json:"model,omitempty"`
 	MeanInterArrival FlexDuration `json:"meanInterArrival,omitempty"`
 	RepairMin        FlexDuration `json:"repairMin,omitempty"`
 	RepairMax        FlexDuration `json:"repairMax,omitempty"`
+	BurstRadius      float64      `json:"burstRadius,omitempty"`
 }
 
 func (j faultConfigJSON) config() fault.Config {
 	return fault.Config{
+		Model:            j.Model,
 		MeanInterArrival: time.Duration(j.MeanInterArrival),
 		RepairMin:        time.Duration(j.RepairMin),
 		RepairMax:        time.Duration(j.RepairMax),
+		BurstRadius:      j.BurstRadius,
 	}
 }
 
@@ -195,18 +297,22 @@ func (j coreConfigJSON) config() core.Config {
 func (s Scenario) MarshalJSON() ([]byte, error) {
 	type alias Scenario
 	aux := struct {
-		MeanArrival    FlexDuration     `json:"meanArrival,omitempty"`
-		MobilityPeriod FlexDuration     `json:"mobilityPeriod,omitempty"`
-		Drain          FlexDuration     `json:"drain,omitempty"`
-		FailureCfg     *faultConfigJSON `json:"failureConfig,omitempty"`
-		SPMSConfig     *coreConfigJSON  `json:"spmsConfig,omitempty"`
-		Replications   int              `json:"replications,omitempty"`
+		MeanArrival      FlexDuration     `json:"meanArrival,omitempty"`
+		MobilityPeriod   FlexDuration     `json:"mobilityPeriod,omitempty"`
+		WaypointPauseMin FlexDuration     `json:"waypointPauseMin,omitempty"`
+		WaypointPauseMax FlexDuration     `json:"waypointPauseMax,omitempty"`
+		Drain            FlexDuration     `json:"drain,omitempty"`
+		FailureCfg       *faultConfigJSON `json:"failureConfig,omitempty"`
+		SPMSConfig       *coreConfigJSON  `json:"spmsConfig,omitempty"`
+		Replications     int              `json:"replications,omitempty"`
 		*alias
 	}{
-		MeanArrival:    FlexDuration(s.MeanArrival),
-		MobilityPeriod: FlexDuration(s.MobilityPeriod),
-		Drain:          FlexDuration(s.Drain),
-		alias:          (*alias)(&s),
+		MeanArrival:      FlexDuration(s.MeanArrival),
+		MobilityPeriod:   FlexDuration(s.MobilityPeriod),
+		WaypointPauseMin: FlexDuration(s.WaypointPauseMin),
+		WaypointPauseMax: FlexDuration(s.WaypointPauseMax),
+		Drain:            FlexDuration(s.Drain),
+		alias:            (*alias)(&s),
 	}
 	// 0 and 1 both mean "single trial"; normalize to the omitted form so
 	// an explicit replications:1 spec serializes byte-identically to one
@@ -216,9 +322,11 @@ func (s Scenario) MarshalJSON() ([]byte, error) {
 	}
 	if s.FailureCfg != (fault.Config{}) {
 		aux.FailureCfg = &faultConfigJSON{
+			Model:            s.FailureCfg.Model,
 			MeanInterArrival: FlexDuration(s.FailureCfg.MeanInterArrival),
 			RepairMin:        FlexDuration(s.FailureCfg.RepairMin),
 			RepairMax:        FlexDuration(s.FailureCfg.RepairMax),
+			BurstRadius:      s.FailureCfg.BurstRadius,
 		}
 	}
 	if s.SPMSConfig != (core.Config{}) {
@@ -242,11 +350,13 @@ func (s Scenario) MarshalJSON() ([]byte, error) {
 func (s *Scenario) UnmarshalJSON(data []byte) error {
 	type alias Scenario
 	aux := struct {
-		MeanArrival    FlexDuration     `json:"meanArrival,omitempty"`
-		MobilityPeriod FlexDuration     `json:"mobilityPeriod,omitempty"`
-		Drain          FlexDuration     `json:"drain,omitempty"`
-		FailureCfg     *faultConfigJSON `json:"failureConfig,omitempty"`
-		SPMSConfig     *coreConfigJSON  `json:"spmsConfig,omitempty"`
+		MeanArrival      FlexDuration     `json:"meanArrival,omitempty"`
+		MobilityPeriod   FlexDuration     `json:"mobilityPeriod,omitempty"`
+		WaypointPauseMin FlexDuration     `json:"waypointPauseMin,omitempty"`
+		WaypointPauseMax FlexDuration     `json:"waypointPauseMax,omitempty"`
+		Drain            FlexDuration     `json:"drain,omitempty"`
+		FailureCfg       *faultConfigJSON `json:"failureConfig,omitempty"`
+		SPMSConfig       *coreConfigJSON  `json:"spmsConfig,omitempty"`
 		*alias
 	}{alias: (*alias)(s)}
 	dec := json.NewDecoder(bytes.NewReader(data))
@@ -256,6 +366,8 @@ func (s *Scenario) UnmarshalJSON(data []byte) error {
 	}
 	s.MeanArrival = time.Duration(aux.MeanArrival)
 	s.MobilityPeriod = time.Duration(aux.MobilityPeriod)
+	s.WaypointPauseMin = time.Duration(aux.WaypointPauseMin)
+	s.WaypointPauseMax = time.Duration(aux.WaypointPauseMax)
 	s.Drain = time.Duration(aux.Drain)
 	if aux.FailureCfg != nil {
 		s.FailureCfg = aux.FailureCfg.config()

@@ -1,0 +1,99 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestClusteredPlacementBasics(t *testing.T) {
+	r := Rect{Max: Point{X: 50, Y: 50}}
+	pts := ClusteredPlacement(40, 4, 2, r, sim.NewRNG(1).Float64)
+	if len(pts) != 40 {
+		t.Fatalf("got %d points, want 40", len(pts))
+	}
+	for i, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("point %d = %v outside %+v", i, p, r)
+		}
+	}
+}
+
+func TestClusteredPlacementDegenerateCounts(t *testing.T) {
+	r := Rect{Max: Point{X: 10, Y: 10}}
+	if pts := ClusteredPlacement(0, 3, 1, r, sim.NewRNG(1).Float64); pts != nil {
+		t.Fatalf("n=0 returned %d points", len(pts))
+	}
+	if pts := ClusteredPlacement(5, 0, 1, r, sim.NewRNG(1).Float64); pts != nil {
+		t.Fatalf("k=0 returned %d points", len(pts))
+	}
+	// More clusters than nodes: k clamps to n, one node per blob.
+	if pts := ClusteredPlacement(3, 10, 1, r, sim.NewRNG(1).Float64); len(pts) != 3 {
+		t.Fatalf("k>n returned %d points, want 3", len(pts))
+	}
+}
+
+func TestClusteredPlacementDeterminism(t *testing.T) {
+	r := Rect{Max: Point{X: 30, Y: 30}}
+	a := ClusteredPlacement(20, 3, 1.5, r, sim.NewRNG(9).Float64)
+	b := ClusteredPlacement(20, 3, 1.5, r, sim.NewRNG(9).Float64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at point %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestClusteredPlacementTightBlob pins the shape property: with one center
+// and a tiny sigma, every node lands within a few sigma of the center, so
+// the layout is a genuine blob, not uniform scatter.
+func TestClusteredPlacementTightBlob(t *testing.T) {
+	r := Rect{Max: Point{X: 1000, Y: 1000}}
+	const sigma = 1.0
+	pts := ClusteredPlacement(200, 1, sigma, r, sim.NewRNG(5).Float64)
+	// The center is the blob's mean in expectation; use the sample mean.
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	cx /= float64(len(pts))
+	cy /= float64(len(pts))
+	for i, p := range pts {
+		if d := p.Dist(Point{X: cx, Y: cy}); d > 6*sigma {
+			t.Fatalf("point %d is %v m from the blob mean; want within 6 sigma = %v", i, d, 6*sigma)
+		}
+	}
+	// And the blob must occupy a vanishing part of the 1 km field.
+	if cx < 0 || cx > 1000 || cy < 0 || cy > 1000 {
+		t.Fatalf("blob mean (%v, %v) outside the field", cx, cy)
+	}
+}
+
+// TestClusteredPlacementSpreadScales checks that sigma actually controls
+// dispersion: the mean distance to the assigned center grows with sigma.
+func TestClusteredPlacementSpreadScales(t *testing.T) {
+	r := Rect{Max: Point{X: 10000, Y: 10000}}
+	spread := func(sigma float64) float64 {
+		pts := ClusteredPlacement(300, 1, sigma, r, sim.NewRNG(4).Float64)
+		var cx, cy float64
+		for _, p := range pts {
+			cx += p.X
+			cy += p.Y
+		}
+		cx /= float64(len(pts))
+		cy /= float64(len(pts))
+		total := 0.0
+		for _, p := range pts {
+			total += p.Dist(Point{X: cx, Y: cy})
+		}
+		return total / float64(len(pts))
+	}
+	narrow, wide := spread(1), spread(10)
+	// Rayleigh mean distance is sigma·sqrt(pi/2); a 10× sigma should land
+	// near 10× the dispersion (same seed, same variates).
+	if ratio := wide / narrow; math.Abs(ratio-10) > 2 {
+		t.Fatalf("spread ratio %v for 10x sigma, want ≈10", ratio)
+	}
+}

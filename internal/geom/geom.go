@@ -1,6 +1,7 @@
 // Package geom provides the 2-D geometry primitives used by the sensor-field
-// model: points, distances, and standard node placements (grid and uniform
-// random) matching the paper's "uniform density of nodes" assumption.
+// model: points, distances, and the standard node placements — grid and
+// uniform random (the paper's "uniform density of nodes" assumption), the
+// §4 analytic chain, and clustered Gaussian blobs.
 package geom
 
 import (
@@ -67,6 +68,18 @@ func (r Rect) Clamp(p Point) Point {
 	return Point{
 		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
 		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// UniformPoint draws one uniform random point in the rectangle. The rand
+// function must return variates in [0,1) (pass rng.Float64); X is drawn
+// before Y, the order every caller has always used — relocation, uniform
+// placement, waypoint destinations, burst epicenters — so the shared
+// helper preserves their historical variate sequences.
+func (r Rect) UniformPoint(rand func() float64) Point {
+	return Point{
+		X: r.Min.X + r.Width()*rand(),
+		Y: r.Min.Y + r.Height()*rand(),
 	}
 }
 
@@ -172,12 +185,42 @@ func UniformPlacement(n int, r Rect, rand func() float64) []Point {
 	}
 	pts := make([]Point, 0, n)
 	for i := 0; i < n; i++ {
-		pts = append(pts, Point{
-			X: r.Min.X + r.Width()*rand(),
-			Y: r.Min.Y + r.Height()*rand(),
-		})
+		pts = append(pts, r.UniformPoint(rand))
 	}
 	return pts
+}
+
+// ClusteredPlacement places n nodes as Gaussian blobs around k cluster
+// centers: the centers are drawn uniformly in r, then nodes are assigned
+// to centers round-robin (so blob populations differ by at most one) and
+// scattered around their center with independent N(0, sigma²) offsets per
+// axis, clamped into r. The rand function must return variates in [0,1)
+// (pass rng.Float64); all normal variates derive from it via Box-Muller,
+// so a seed fully determines the layout.
+func ClusteredPlacement(n, k int, sigma float64, r Rect, rand func() float64) []Point {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	centers := UniformPlacement(k, r, rand)
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		c := centers[i%k]
+		dx, dy := gaussianPair(rand)
+		pts = append(pts, r.Clamp(Point{X: c.X + sigma*dx, Y: c.Y + sigma*dy}))
+	}
+	return pts
+}
+
+// gaussianPair returns two independent standard normal variates via the
+// Box-Muller transform.
+func gaussianPair(rand func() float64) (float64, float64) {
+	// 1-u keeps the log argument in (0,1]; u itself can be exactly 0.
+	m := math.Sqrt(-2 * math.Log(1-rand()))
+	theta := 2 * math.Pi * rand()
+	return m * math.Cos(theta), m * math.Sin(theta)
 }
 
 // ChainPlacement places n nodes on a straight line with the given spacing,

@@ -1,7 +1,9 @@
-// Package topo models the sensor field: node positions, zone neighborhoods,
-// power-level selection between nodes, and the mobility model of §5.1.3
-// (at discrete times a random fraction of nodes relocates, after which
-// routing must re-converge).
+// Package topo models the sensor field: node positions (grid, uniform,
+// chain, or clustered placement), zone neighborhoods, power-level
+// selection between nodes, and the mobility models — the paper's §5.1.3
+// fractional relocation (at discrete times a random fraction of nodes
+// teleports, after which routing must re-converge) and random waypoint
+// (waypoint.go).
 //
 // A zone, per the paper, is the region a node can reach transmitting at its
 // maximum power level; the nodes inside it are the node's zone neighbors.
@@ -99,6 +101,32 @@ func NewUniformField(n int, bounds geom.Rect, m *radio.Model, rng *sim.RNG) (*Fi
 		return nil, fmt.Errorf("topo: empty bounds %+v", bounds)
 	}
 	return newField(m, geom.UniformPlacement(n, bounds, rng.Float64), bounds), nil
+}
+
+// NewClusteredField places n nodes as Gaussian blobs around k uniformly
+// seeded cluster centers (geom.ClusteredPlacement): sigma is the per-axis
+// standard deviation of a blob in meters, and positions are clamped into
+// bounds.
+func NewClusteredField(n, k int, sigma float64, bounds geom.Rect, m *radio.Model, rng *sim.RNG) (*Field, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: non-positive node count %d", n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("topo: non-positive cluster count %d", k)
+	}
+	if sigma <= 0 {
+		return nil, fmt.Errorf("topo: non-positive cluster spread %v", sigma)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("topo: nil radio model")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topo: nil rng")
+	}
+	if bounds.Area() <= 0 {
+		return nil, fmt.Errorf("topo: empty bounds %+v", bounds)
+	}
+	return newField(m, geom.ClusteredPlacement(n, k, sigma, bounds, rng.Float64), bounds), nil
 }
 
 // NewChainField places n nodes on a straight line, the §4 analytic topology.
@@ -224,10 +252,7 @@ func (f *Field) RelocateFraction(frac float64, rng *sim.RNG) []packet.NodeID {
 	global := 2*k >= len(f.pos)
 	for _, idx := range perm[:k] {
 		id := packet.NodeID(idx)
-		np := geom.Point{
-			X: f.bounds.Min.X + f.bounds.Width()*rng.Float64(),
-			Y: f.bounds.Min.Y + f.bounds.Height()*rng.Float64(),
-		}
+		np := f.bounds.UniformPoint(rng.Float64)
 		if !global {
 			f.invalidateAround(f.pos[id])
 		}

@@ -1,0 +1,175 @@
+// waypoint.go is the random-waypoint mobility model: each mobile node
+// repeatedly picks a uniform random destination in the field, travels
+// toward it at a per-leg uniform random speed, pauses there for a uniform
+// random time, and repeats. Unlike the paper's relocation model (teleport a
+// fraction of the nodes per event, RelocateFraction), waypoint motion is
+// continuous, so successive positions are correlated and every step flows
+// through Field.Move — exercising the spatial index's incremental
+// invalidation path instead of the near-global stamping a mass relocation
+// triggers.
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// WaypointConfig parameterizes the random-waypoint model. Speeds are in
+// meters per simulated second; each leg draws its speed uniformly from
+// [SpeedMin, SpeedMax] and each arrival pauses uniformly from
+// [PauseMin, PauseMax].
+type WaypointConfig struct {
+	SpeedMin, SpeedMax float64
+	PauseMin, PauseMax time.Duration
+}
+
+// Validate checks the configuration.
+func (c WaypointConfig) Validate() error {
+	if c.SpeedMin < 0 {
+		return fmt.Errorf("topo: negative waypoint speed %v", c.SpeedMin)
+	}
+	if c.SpeedMax <= 0 {
+		return fmt.Errorf("topo: non-positive waypoint max speed %v", c.SpeedMax)
+	}
+	if c.SpeedMax < c.SpeedMin {
+		return fmt.Errorf("topo: waypoint speed range [%v, %v] inverted", c.SpeedMin, c.SpeedMax)
+	}
+	if c.PauseMin < 0 || c.PauseMax < c.PauseMin {
+		return fmt.Errorf("topo: invalid waypoint pause window [%v, %v]", c.PauseMin, c.PauseMax)
+	}
+	return nil
+}
+
+// waypointLeg is one mobile node's motion state: where it is headed, how
+// fast, and how much pause remains before it moves again.
+type waypointLeg struct {
+	id     packet.NodeID
+	target geom.Point
+	speed  float64 // m/s for the current leg; 0 only if SpeedMin == SpeedMax == 0
+	pause  time.Duration
+}
+
+// Waypoint drives a fraction of a Field's nodes along random-waypoint
+// trajectories. Like the Field it moves, a Waypoint belongs to one
+// single-threaded scheduler; Advance is not safe for concurrent use.
+type Waypoint struct {
+	f    *Field
+	cfg  WaypointConfig
+	rng  *sim.RNG
+	legs []waypointLeg
+}
+
+// NewWaypoint selects ceil(frac·N) random nodes as mobile (same selection
+// rule as RelocateFraction) and arms each with an initial destination and
+// speed. frac is clamped to [0, 1]; a non-positive frac yields a Waypoint
+// that moves nothing.
+func NewWaypoint(f *Field, cfg WaypointConfig, frac float64, rng *sim.RNG) (*Waypoint, error) {
+	if f == nil {
+		return nil, fmt.Errorf("topo: nil field")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topo: nil rng")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Waypoint{f: f, cfg: cfg, rng: rng}
+	if frac <= 0 {
+		return w, nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := ceilFrac(frac, f.N())
+	perm := rng.Perm(f.N())
+	w.legs = make([]waypointLeg, 0, k)
+	for _, idx := range perm[:k] {
+		leg := waypointLeg{id: packet.NodeID(idx)}
+		w.rollLeg(&leg)
+		w.legs = append(w.legs, leg)
+	}
+	return w, nil
+}
+
+// MobileIDs returns the mobile node ids in selection order.
+func (w *Waypoint) MobileIDs() []packet.NodeID {
+	ids := make([]packet.NodeID, len(w.legs))
+	for i, l := range w.legs {
+		ids[i] = l.id
+	}
+	return ids
+}
+
+// rollLeg draws a fresh destination and speed for the leg.
+func (w *Waypoint) rollLeg(l *waypointLeg) {
+	l.target = w.f.Bounds().UniformPoint(w.rng.Float64)
+	l.speed = w.rng.Uniform(w.cfg.SpeedMin, w.cfg.SpeedMax)
+}
+
+// Advance moves every mobile node dt of simulated time along its
+// trajectory, consuming pauses and rolling new legs on arrival. Returns
+// how many nodes changed position (a node pausing for the whole step does
+// not count). Every position change goes through Field.Move, so neighbor
+// caches invalidate incrementally.
+func (w *Waypoint) Advance(dt time.Duration) int {
+	moved := 0
+	for i := range w.legs {
+		if w.advanceLeg(&w.legs[i], dt) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// advanceLeg walks one node through dt: pause, travel, arrival, repeat.
+func (w *Waypoint) advanceLeg(l *waypointLeg, dt time.Duration) bool {
+	movedAny := false
+	for dt > 0 {
+		if l.pause > 0 {
+			if l.pause >= dt {
+				l.pause -= dt
+				return movedAny
+			}
+			dt -= l.pause
+			l.pause = 0
+		}
+		if l.speed <= 0 {
+			// A zero-speed leg can never arrive; re-roll once in case the
+			// speed range allows motion, else the node is pinned this step.
+			w.rollLeg(l)
+			if l.speed <= 0 {
+				return movedAny
+			}
+		}
+		pos := w.f.Pos(l.id)
+		remaining := pos.Dist(l.target)
+		step := l.speed * dt.Seconds()
+		if step < remaining {
+			frac := step / remaining
+			w.f.Move(l.id, geom.Point{
+				X: pos.X + (l.target.X-pos.X)*frac,
+				Y: pos.Y + (l.target.Y-pos.Y)*frac,
+			})
+			return true
+		}
+		// Arrival: land exactly on the target, spend the travel share of
+		// dt, then pause and roll the next leg.
+		if remaining > 0 {
+			w.f.Move(l.id, l.target)
+			movedAny = true
+			dt -= time.Duration(remaining / l.speed * float64(time.Second))
+		}
+		l.pause = w.rng.UniformDuration(w.cfg.PauseMin, w.cfg.PauseMax)
+		w.rollLeg(l)
+		if l.pause == 0 && w.f.Pos(l.id).Dist(l.target) == 0 {
+			// Degenerate field (single-point bounds): no destination can
+			// ever be elsewhere, so stop instead of spinning.
+			return movedAny
+		}
+	}
+	return movedAny
+}

@@ -1,0 +1,283 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+func waypointField(t *testing.T, n int) *Field {
+	t.Helper()
+	m, err := radio.ScaledMICA2(20)
+	if err != nil {
+		t.Fatalf("radio: %v", err)
+	}
+	f, err := NewGridField(n, DefaultGridSpacing, m)
+	if err != nil {
+		t.Fatalf("field: %v", err)
+	}
+	return f
+}
+
+func defaultWaypointCfg() WaypointConfig {
+	return WaypointConfig{SpeedMin: 5, SpeedMax: 15, PauseMin: 0, PauseMax: 100 * time.Millisecond}
+}
+
+func TestWaypointConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     WaypointConfig
+		wantErr bool
+	}{
+		{"default", defaultWaypointCfg(), false},
+		{"fixed speed no pause", WaypointConfig{SpeedMin: 3, SpeedMax: 3}, false},
+		{"negative speed", WaypointConfig{SpeedMin: -1, SpeedMax: 3}, true},
+		{"zero max speed", WaypointConfig{SpeedMin: 0, SpeedMax: 0}, true},
+		{"inverted speeds", WaypointConfig{SpeedMin: 5, SpeedMax: 2}, true},
+		{"negative pause", WaypointConfig{SpeedMin: 1, SpeedMax: 2, PauseMin: -1}, true},
+		{"inverted pauses", WaypointConfig{SpeedMin: 1, SpeedMax: 2, PauseMin: 5, PauseMax: 2}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewWaypointValidation(t *testing.T) {
+	f := waypointField(t, 25)
+	rng := sim.NewRNG(1)
+	if _, err := NewWaypoint(nil, defaultWaypointCfg(), 0.5, rng); err == nil {
+		t.Fatal("nil field accepted")
+	}
+	if _, err := NewWaypoint(f, defaultWaypointCfg(), 0.5, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := NewWaypoint(f, WaypointConfig{}, 0.5, rng); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestWaypointMobileSelection(t *testing.T) {
+	f := waypointField(t, 100)
+	wp, err := NewWaypoint(f, defaultWaypointCfg(), 0.25, sim.NewRNG(3))
+	if err != nil {
+		t.Fatalf("NewWaypoint: %v", err)
+	}
+	ids := wp.MobileIDs()
+	if len(ids) != 25 {
+		t.Fatalf("got %d mobile nodes for frac 0.25 of 100, want 25", len(ids))
+	}
+	seen := map[packet.NodeID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("node %d selected twice", id)
+		}
+		seen[id] = true
+	}
+
+	// Non-positive fraction moves nothing.
+	still, err := NewWaypoint(f, defaultWaypointCfg(), 0, sim.NewRNG(3))
+	if err != nil {
+		t.Fatalf("NewWaypoint frac=0: %v", err)
+	}
+	if n := still.Advance(time.Second); n != 0 {
+		t.Fatalf("frac=0 moved %d nodes", n)
+	}
+}
+
+// TestWaypointOnlyMobileNodesMove pins down the moving set: after many
+// ticks, every non-mobile node is exactly where it started.
+func TestWaypointOnlyMobileNodesMove(t *testing.T) {
+	f := waypointField(t, 49)
+	before := make([]geom.Point, f.N())
+	for i := range before {
+		before[i] = f.Pos(packet.NodeID(i))
+	}
+	wp, err := NewWaypoint(f, defaultWaypointCfg(), 0.2, sim.NewRNG(8))
+	if err != nil {
+		t.Fatalf("NewWaypoint: %v", err)
+	}
+	mobile := map[packet.NodeID]bool{}
+	for _, id := range wp.MobileIDs() {
+		mobile[id] = true
+	}
+	for i := 0; i < 50; i++ {
+		wp.Advance(100 * time.Millisecond)
+	}
+	for i := range before {
+		id := packet.NodeID(i)
+		if mobile[id] {
+			continue
+		}
+		if f.Pos(id) != before[i] {
+			t.Fatalf("immobile node %d moved from %v to %v", id, before[i], f.Pos(id))
+		}
+	}
+}
+
+// TestWaypointSpeedBound verifies per-tick displacement never exceeds what
+// the fastest leg allows, and that positions stay inside the field.
+func TestWaypointSpeedBound(t *testing.T) {
+	f := waypointField(t, 64)
+	cfg := defaultWaypointCfg()
+	wp, err := NewWaypoint(f, cfg, 0.5, sim.NewRNG(2))
+	if err != nil {
+		t.Fatalf("NewWaypoint: %v", err)
+	}
+	const dt = 100 * time.Millisecond
+	maxStep := cfg.SpeedMax * dt.Seconds() * (1 + 1e-9)
+	for tick := 0; tick < 100; tick++ {
+		prev := make([]geom.Point, f.N())
+		for i := range prev {
+			prev[i] = f.Pos(packet.NodeID(i))
+		}
+		wp.Advance(dt)
+		for i := range prev {
+			id := packet.NodeID(i)
+			p := f.Pos(id)
+			if !f.Bounds().Contains(p) {
+				t.Fatalf("tick %d: node %d at %v escaped bounds %+v", tick, id, p, f.Bounds())
+			}
+			if d := prev[i].Dist(p); d > maxStep {
+				t.Fatalf("tick %d: node %d moved %v m in %v (max %v)", tick, id, d, dt, maxStep)
+			}
+		}
+	}
+}
+
+// TestWaypointPauseHolds arms an enormous pause window: after the first
+// arrival a node must sit still, so over a short horizon total motion is
+// bounded and some ticks move nothing.
+func TestWaypointPauseHolds(t *testing.T) {
+	f := waypointField(t, 25)
+	cfg := WaypointConfig{SpeedMin: 1000, SpeedMax: 1000, PauseMin: time.Hour, PauseMax: time.Hour}
+	wp, err := NewWaypoint(f, cfg, 1, sim.NewRNG(6))
+	if err != nil {
+		t.Fatalf("NewWaypoint: %v", err)
+	}
+	// At 1000 m/s every node reaches its first target within the first
+	// tick and starts its hour-long pause.
+	wp.Advance(time.Second)
+	for tick := 0; tick < 10; tick++ {
+		if n := wp.Advance(100 * time.Millisecond); n != 0 {
+			t.Fatalf("tick %d: %d nodes moved during an hour-long pause", tick, n)
+		}
+	}
+}
+
+// TestWaypointDeterminism: same seed, same trajectories.
+func TestWaypointDeterminism(t *testing.T) {
+	run := func() []geom.Point {
+		f := waypointField(t, 36)
+		wp, err := NewWaypoint(f, defaultWaypointCfg(), 0.5, sim.NewRNG(12))
+		if err != nil {
+			t.Fatalf("NewWaypoint: %v", err)
+		}
+		for i := 0; i < 30; i++ {
+			wp.Advance(100 * time.Millisecond)
+		}
+		out := make([]geom.Point, f.N())
+		for i := range out {
+			out[i] = f.Pos(packet.NodeID(i))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at node %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWaypointEpochInvalidation is the acceptance-criteria check: every
+// radio query after a waypoint step must agree with a brute-force scan, at
+// every power level, across many interleaved advances — i.e. the
+// incremental cache invalidation Move performs is sound under continuous
+// small-step motion (run with -race in CI like the rest of the suite).
+func TestWaypointEpochInvalidation(t *testing.T) {
+	f := waypointField(t, 81)
+	wp, err := NewWaypoint(f, defaultWaypointCfg(), 0.3, sim.NewRNG(17))
+	if err != nil {
+		t.Fatalf("NewWaypoint: %v", err)
+	}
+	levels := f.Model().NumLevels()
+	check := func(tick int) {
+		for i := 0; i < f.N(); i++ {
+			id := packet.NodeID(i)
+			for l := 1; l <= levels; l++ {
+				got := f.ReachedBy(id, radio.Level(l))
+				var want []packet.NodeID
+				for j := 0; j < f.N(); j++ {
+					jid := packet.NodeID(j)
+					if jid != id && f.InRange(id, jid, radio.Level(l)) {
+						want = append(want, jid)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("tick %d node %d level %d: %d neighbors, brute force %d", tick, id, l, len(got), len(want))
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("tick %d node %d level %d: neighbor[%d]=%d, brute force %d", tick, id, l, k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+	epoch := f.Epoch()
+	for tick := 0; tick < 20; tick++ {
+		moved := wp.Advance(100 * time.Millisecond)
+		if moved > 0 && f.Epoch() == epoch {
+			t.Fatalf("tick %d: %d nodes moved but the mobility epoch did not advance", tick, moved)
+		}
+		epoch = f.Epoch()
+		check(tick)
+	}
+}
+
+func TestNewClusteredFieldValidation(t *testing.T) {
+	m, err := radio.ScaledMICA2(20)
+	if err != nil {
+		t.Fatalf("radio: %v", err)
+	}
+	bounds := geom.Rect{Max: geom.Point{X: 50, Y: 50}}
+	rng := sim.NewRNG(1)
+	if _, err := NewClusteredField(0, 4, 2, bounds, m, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewClusteredField(10, 0, 2, bounds, m, rng); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewClusteredField(10, 4, 0, bounds, m, rng); err == nil {
+		t.Fatal("sigma=0 accepted")
+	}
+	if _, err := NewClusteredField(10, 4, 2, geom.Rect{}, m, rng); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := NewClusteredField(10, 4, 2, bounds, nil, rng); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewClusteredField(10, 4, 2, bounds, m, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	f, err := NewClusteredField(30, 3, 2, bounds, m, rng)
+	if err != nil {
+		t.Fatalf("NewClusteredField: %v", err)
+	}
+	if f.N() != 30 {
+		t.Fatalf("N=%d, want 30", f.N())
+	}
+	for i := 0; i < f.N(); i++ {
+		if !bounds.Contains(f.Pos(packet.NodeID(i))) {
+			t.Fatalf("node %d at %v outside bounds", i, f.Pos(packet.NodeID(i)))
+		}
+	}
+}
