@@ -39,7 +39,7 @@ golden-update:
 # writes machine-readable results to BENCH_<date>.json. Commit a snapshot
 # alongside performance-affecting PRs; see DESIGN.md §7.
 bench:
-	$(GO) run ./cmd/benchjson -bench . -out BENCH_$(DATE).json
+	$(GO) run ./cmd/benchjson -bench . -sims -out BENCH_$(DATE).json
 
 # bench-smoke is the CI variant: just the topology and scheduler
 # micro-benchmarks plus a timed quick-scale campaign, written to bench.json

@@ -5,6 +5,11 @@
 // ROADMAP calls for: commit one snapshot per optimization PR and CI uploads
 // one per run as a build artifact.
 //
+// With -sims it additionally times the single-simulation group: the
+// N-scaling curve (SPIN at 10³/10⁴/10⁵ nodes with fixed source-restricted
+// traffic) and worker-scaling rows on the 1024-node stress scenario at
+// -sim-workers 1 and 4.
+//
 // With -campaign it additionally times a full declarative campaign (the
 // 1024-node stress grid is the intended subject) and records the wall
 // clock; -campaign-baseline records a reference wall clock from a previous
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/experiment"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -58,6 +64,27 @@ type CampaignTiming struct {
 	Speedup         float64 `json:"speedup,omitempty"`
 }
 
+// SimTiming is one timed single-simulation run from the -sims group: the
+// N-scaling curve (10³ → 10⁵ nodes at fixed traffic) and the worker-scaling
+// rows on the 1024-node stress point. Speedup compares a multi-worker row
+// against the serial row with the same label; on a single-core machine it
+// records what the machine actually gives (~1.0), never an extrapolation.
+type SimTiming struct {
+	Label        string  `json:"label"`
+	Protocol     string  `json:"protocol"`
+	Nodes        int     `json:"nodes"`
+	SimWorkers   int     `json:"simWorkers"`
+	Seconds      float64 `json:"seconds"`
+	Items        int     `json:"items"`
+	DeliveryRate float64 `json:"deliveryRate"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	// BaselineSeconds/BaselineSpeedup compare the serial stress-1024 row
+	// against a previous build's wall clock (-sims-baseline), the
+	// cross-build counterpart of the within-build worker Speedup.
+	BaselineSeconds float64 `json:"baselineSeconds,omitempty"`
+	BaselineSpeedup float64 `json:"baselineSpeedup,omitempty"`
+}
+
 // Report is the BENCH_<date>.json document.
 type Report struct {
 	Date       string           `json:"date"`
@@ -67,6 +94,7 @@ type Report struct {
 	CPUs       int              `json:"cpus"`
 	BenchRegex string           `json:"benchRegex"`
 	Benchmarks []Benchmark      `json:"benchmarks"`
+	Sims       []SimTiming      `json:"sims,omitempty"`
 	Campaigns  []CampaignTiming `json:"campaigns,omitempty"`
 }
 
@@ -74,6 +102,8 @@ func main() {
 	benchRE := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
 	out := flag.String("out", "", `output path (default "BENCH_<date>.json")`)
 	pkgs := flag.String("pkgs", "./...", "package pattern passed to go test")
+	sims := flag.Bool("sims", false, "also run the single-simulation timing group: N-scaling 10³..10⁵ plus worker scaling on the 1024-node stress sim")
+	simsBaseline := flag.Float64("sims-baseline", 0, "previous build's wall clock in seconds for the serial stress-1024 sim, recorded as baselineSpeedup on that row")
 	campaignSpec := flag.String("campaign", "", "campaign spec to run and time (optional)")
 	campaignBaseline := flag.Float64("campaign-baseline", 0, "reference wall clock in seconds for the campaign, from a previous build")
 	campaignJSONL := flag.String("campaign-jsonl", "", "write the campaign's JSONL result stream here (optional)")
@@ -97,6 +127,12 @@ func main() {
 	if err := runBenchmarks(&report, *benchRE, *pkgs); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *sims {
+		if err := runSims(&report, *simsBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *campaignSpec != "" {
 		ct, err := runCampaign(*campaignSpec, *parallel, *campaignJSONL, *campaignCSV)
@@ -126,8 +162,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks, %d campaigns -> %s\n",
-		len(report.Benchmarks), len(report.Campaigns), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks, %d sims, %d campaigns -> %s\n",
+		len(report.Benchmarks), len(report.Sims), len(report.Campaigns), *out)
 }
 
 // runBenchmarks shells out to go test and parses the bench lines. Benchmark
@@ -193,6 +229,94 @@ func parseBenchLines(out string) []Benchmark {
 		res = append(res, b)
 	}
 	return res
+}
+
+// simCase is one -sims group entry; workerCounts produces one SimTiming row
+// per count, with the first count (always 1) serving as the speedup baseline.
+type simCase struct {
+	label        string
+	scenario     experiment.Scenario
+	workerCounts []int
+}
+
+// simCases is the committed timing group. The N-scaling rows hold traffic
+// constant (200 source nodes × 1 packet) while the field grows 100×, so the
+// curve isolates topology-scale costs: flat seconds/node means the spatial
+// index and caches stayed O(degree). The stress rows are the 1024-node
+// all-to-all grid from examples/campaigns/stress-1k.json, plain and with
+// mobility (mobility forces the zone-parallel routing recomputes, which is
+// where extra workers can actually bite).
+func simCases() []simCase {
+	scale := func(nodes int) experiment.Scenario {
+		return experiment.Scenario{
+			Protocol:       experiment.SPIN,
+			Workload:       experiment.Clustered,
+			Nodes:          nodes,
+			ZoneRadius:     20,
+			Placement:      experiment.PlaceUniform,
+			PacketsPerNode: 1,
+			Sources:        200,
+			Seed:           1,
+			Drain:          2 * time.Second,
+		}
+	}
+	stress := experiment.Scenario{
+		Protocol:       experiment.SPMS,
+		Workload:       experiment.AllToAll,
+		Nodes:          1024,
+		ZoneRadius:     20,
+		PacketsPerNode: 1,
+		Seed:           1,
+		Drain:          2 * time.Second,
+	}
+	stressMobility := stress
+	stressMobility.Mobility = true
+	stressMobility.MobilityPeriod = 500 * time.Millisecond
+	stressMobility.MobilityFraction = 0.05
+	return []simCase{
+		{label: "scale-1e3", scenario: scale(1_000), workerCounts: []int{1}},
+		{label: "scale-1e4", scenario: scale(10_000), workerCounts: []int{1}},
+		{label: "scale-1e5", scenario: scale(100_000), workerCounts: []int{1}},
+		{label: "stress-1024", scenario: stress, workerCounts: []int{1, 4}},
+		{label: "stress-1024-mobility", scenario: stressMobility, workerCounts: []int{1, 4}},
+	}
+}
+
+// runSims times every simCases entry in-process and appends the rows.
+// simsBaseline, when set, is a previous build's serial stress-1024 wall
+// clock; it lands on that row as the cross-build speedup.
+func runSims(report *Report, simsBaseline float64) error {
+	for _, sc := range simCases() {
+		var baseline float64
+		for i, workers := range sc.workerCounts {
+			fmt.Fprintf(os.Stderr, "benchjson: sim %s workers=%d...\n", sc.label, workers)
+			start := time.Now()
+			res, err := experiment.RunWith(sc.scenario, experiment.RunConfig{SimWorkers: workers})
+			if err != nil {
+				return fmt.Errorf("sim %s workers=%d: %w", sc.label, workers, err)
+			}
+			row := SimTiming{
+				Label:        sc.label,
+				Protocol:     sc.scenario.Protocol.String(),
+				Nodes:        sc.scenario.Nodes,
+				SimWorkers:   workers,
+				Seconds:      time.Since(start).Seconds(),
+				Items:        res.Items,
+				DeliveryRate: res.DeliveryRate,
+			}
+			if i == 0 {
+				baseline = row.Seconds
+			} else if row.Seconds > 0 {
+				row.Speedup = baseline / row.Seconds
+			}
+			if sc.label == "stress-1024" && workers == 1 && simsBaseline > 0 && row.Seconds > 0 {
+				row.BaselineSeconds = simsBaseline
+				row.BaselineSpeedup = simsBaseline / row.Seconds
+			}
+			report.Sims = append(report.Sims, row)
+		}
+	}
+	return nil
 }
 
 // runCampaign executes one campaign spec through the library (no subprocess

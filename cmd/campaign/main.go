@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	campaign run <spec.json> [-parallel N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate]
+//	campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate]
 //	campaign expand <spec.json>
 //	campaign validate <spec.json>
 //
@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/campaign"
@@ -41,7 +42,7 @@ func main() {
 
 func usage() int {
 	fmt.Fprintf(os.Stderr, `usage:
-  campaign run <spec.json> [-parallel N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate]
+  campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate]
   campaign expand <spec.json>
   campaign validate <spec.json>
 `)
@@ -92,7 +93,17 @@ func runCampaign(specPath string, args []string) int {
 	csvPath := fs.String("csv", "", `CSV output: "-" for stdout, a path, or "" to disable`)
 	replications := fs.Int("replications", 0, "override the spec's replication count (0 = use the spec's)")
 	perReplicate := fs.Bool("per-replicate", false, "also emit each replicate's own JSONL record, not just the aggregate")
+	simWorkers := fs.Int("sim-workers", 0, "goroutines for the data-parallel kernels inside each simulation (0/1 = serial; output is identical at any value)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	fs.Parse(args)
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	c, code := load(specPath, *replications)
 	if code != 0 {
@@ -147,7 +158,7 @@ func runCampaign(specPath string, args []string) int {
 	}
 
 	start := time.Now()
-	_, err := c.Run(campaign.RunOptions{Workers: *parallel, Sinks: sinks})
+	_, err = c.Run(campaign.RunOptions{Workers: *parallel, Sinks: sinks, SimWorkers: *simWorkers})
 	for _, cl := range closers {
 		if cerr := cl.Close(); err == nil && cerr != nil {
 			err = cerr
@@ -165,6 +176,42 @@ func runCampaign(specPath string, args []string) int {
 			c.Spec.Name, len(c.Points), len(c.AxisNames), time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// startProfiles arms the requested pprof outputs and returns the teardown
+// that stops the CPU profile and snapshots the heap. The no-op teardown on
+// error keeps the caller's defer unconditional.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	writeHeap := func() {
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return func() {}, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return func() {}, err
+		}
+		return func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			writeHeap()
+		}, nil
+	}
+	return writeHeap, nil
 }
 
 func expandCampaign(specPath string, args []string) int {

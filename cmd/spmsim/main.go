@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiment"
@@ -51,6 +52,7 @@ func run() int {
 		placeK       = flag.Int("placement-clusters", 0, "clustered placement: number of Gaussian blobs (0 = default 4)")
 		placeSpread  = flag.Float64("placement-spread", 0, "clustered placement: per-axis blob deviation in meters (0 = 2×spacing)")
 		packets      = flag.Int("packets", 10, "data items generated per node")
+		sources      = flag.Int("sources", 0, "nodes that originate data: the first N ids (0 = every node)")
 		clusterProb  = flag.Float64("cluster-interest", 0.05, "clustered workload: bystander interest probability in [0,1]")
 		failures     = flag.Bool("failures", false, "inject node failures (see -failure-model; Table 1 timing by default)")
 		failureModel = flag.String("failure-model", "transient", "failure model: transient | crash | burst")
@@ -70,8 +72,18 @@ func run() int {
 		altRoutes    = flag.Int("routes", 2, "SPMS routing entries per destination")
 		replications = flag.Int("replications", 1, "independent seed-derived trials; above 1 prints mean ± 95% CI per metric")
 		parallel     = flag.Int("parallel", 0, "replicate worker pool size (0 = all cores, 1 = serial)")
+		simWorkers   = flag.Int("sim-workers", 0, "goroutines for the data-parallel kernels inside one simulation (0/1 = serial; output is identical at any value)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	var sc experiment.Scenario
 	fromFile := *scenarioPath != ""
@@ -135,6 +147,9 @@ func run() int {
 	}
 	if use("packets") {
 		sc.PacketsPerNode = *packets
+	}
+	if use("sources") {
+		sc.Sources = *sources
 	}
 	if use("cluster-interest") {
 		sc.ClusterInterestProb = *clusterProb
@@ -207,11 +222,11 @@ func run() int {
 	sc = sc.WithDefaults()
 
 	if experiment.Replications(sc) > 1 {
-		return runReplicated(sc, *parallel)
+		return runReplicated(sc, *parallel, *simWorkers)
 	}
 
 	start := time.Now()
-	res, err := experiment.Run(sc)
+	res, err := experiment.RunWith(sc, experiment.RunConfig{SimWorkers: *simWorkers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
 		return 1
@@ -238,13 +253,59 @@ func run() int {
 	return 0
 }
 
+// startProfiles arms the requested pprof outputs and returns the teardown
+// that stops the CPU profile and snapshots the heap. The no-op teardown on
+// error keeps the caller's defer unconditional.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return func() {}, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return func() {}, err
+		}
+		return func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			writeHeapProfile(memPath)
+		}, nil
+	}
+	return func() { writeHeapProfile(memPath) }, nil
+}
+
+// writeHeapProfile snapshots the heap to path; "" means no profile.
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
+}
+
 // runReplicated runs the scenario's seed-derived trials through the
 // replicated sweep pool and prints per-metric statistics.
-func runReplicated(sc experiment.Scenario, workers int) int {
+func runReplicated(sc experiment.Scenario, workers, simWorkers int) int {
+	var runFn func(experiment.Scenario) (experiment.Result, error)
+	if simWorkers > 1 {
+		cfg := experiment.RunConfig{SimWorkers: simWorkers}
+		runFn = func(sc experiment.Scenario) (experiment.Result, error) {
+			return experiment.RunWith(sc, cfg)
+		}
+	}
 	start := time.Now()
 	reps, err := experiment.ReplicatedSweep{
 		Points:  []experiment.Scenario{sc},
 		Workers: workers,
+		Run:     runFn,
 	}.Execute()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)

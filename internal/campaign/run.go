@@ -29,6 +29,12 @@ type RunOptions struct {
 	// Run overrides the per-trial executor (tests); nil means
 	// experiment.Run.
 	Run func(experiment.Scenario) (experiment.Result, error)
+	// SimWorkers bounds the data-parallel kernel goroutines inside each
+	// simulation (experiment.RunConfig.SimWorkers). It is an execution knob,
+	// not a scenario parameter: sink output is byte-identical at every
+	// value. Ignored when Run is set. Note the two axes multiply — Workers
+	// simulations each running SimWorkers kernel goroutines.
+	SimWorkers int
 }
 
 // Run executes every trial and returns the per-point replicate vectors in
@@ -84,9 +90,17 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 		}
 	}
 
+	runFn := opts.Run
+	if runFn == nil && opts.SimWorkers > 1 {
+		cfg := experiment.RunConfig{SimWorkers: opts.SimWorkers}
+		runFn = func(sc experiment.Scenario) (experiment.Result, error) {
+			return experiment.RunWith(sc, cfg)
+		}
+	}
+
 	results, err := experiment.ReplicatedSweep{
 		Points:  scenarios,
-		Run:     opts.Run,
+		Run:     runFn,
 		Workers: opts.Workers,
 		OnPoint: onPoint,
 	}.Execute()

@@ -58,7 +58,7 @@ func (s *System) Query(requester packet.NodeID, d packet.DataID) error {
 	if requester < 0 || int(requester) >= len(s.nodes) {
 		return fmt.Errorf("core: query node %d out of range", requester)
 	}
-	n := s.nodes[requester]
+	n := &s.nodes[requester]
 	if !s.nw.Alive(requester) {
 		return fmt.Errorf("core: query node %d is down", requester)
 	}

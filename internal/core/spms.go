@@ -129,7 +129,7 @@ type System struct {
 	interest dissem.Interest
 	cfg      Config
 	tables   *routing.Tables
-	nodes    []*node
+	nodes    []node
 
 	// Derived expected per-hop REQ+DATA round trip for AutoTimeouts.
 	hopRTT time.Duration
@@ -159,10 +159,14 @@ func NewSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Inter
 	}
 	s := &System{nw: nw, ledger: ledger, interest: interest, cfg: cfg, tables: tables}
 	s.deriveTimeouts()
-	s.nodes = make([]*node, nw.N())
+	nw.DeferProcessing(cfg.Proc)
+	// Nodes live in one contiguous slice (allocated once, never grown), so
+	// per-node state is a flat array walk rather than a pointer chase.
+	s.nodes = make([]node, nw.N())
 	for i := range s.nodes {
-		n := &node{sys: s, id: packet.NodeID(i)}
-		s.nodes[i] = n
+		n := &s.nodes[i]
+		n.sys = s
+		n.id = packet.NodeID(i)
 		nw.Bind(n.id, n)
 	}
 	return s, nil
@@ -238,7 +242,7 @@ func (s *System) Originate(src packet.NodeID, d packet.DataID) error {
 	if err := s.ledger.Originate(d, s.nw.Scheduler().Now()); err != nil {
 		return err
 	}
-	n := s.nodes[src]
+	n := &s.nodes[src]
 	it := s.ledger.Index(d)
 	n.setHas(it)
 	n.advertise(d, it)
@@ -373,26 +377,25 @@ func (n *node) clearWant(d packet.DataID, it int) {
 	delete(n.wantOverflow, d.Key())
 }
 
-// HandlePacket defers protocol processing by Tproc, as in §4's model.
+// HandlePacket runs the protocol reaction to p. The Tproc processing delay
+// of §4's model is applied by the network's batched deferred dispatch
+// (DeferProcessing in NewSystem), which also re-checks liveness — so by the
+// time this runs, the node is alive and the clock is already at
+// delivery+Tproc.
 func (n *node) HandlePacket(p packet.Packet) {
-	n.sys.nw.Scheduler().After(n.sys.cfg.Proc, func() {
-		if !n.sys.nw.Alive(n.id) {
-			return // failed while processing; the packet is lost
-		}
-		it := n.item(p.Meta)
-		switch p.Kind {
-		case packet.ADV:
-			n.onADV(p, it)
-		case packet.REQ:
-			n.onREQ(p, it)
-		case packet.DATA:
-			n.onDATA(p, it)
-		case packet.QRY:
-			n.onQRY(p, it)
-		default:
-			panic(fmt.Sprintf("core: node %d received unexpected %v", n.id, p.Kind))
-		}
-	})
+	it := n.item(p.Meta)
+	switch p.Kind {
+	case packet.ADV:
+		n.onADV(p, it)
+	case packet.REQ:
+		n.onREQ(p, it)
+	case packet.DATA:
+		n.onDATA(p, it)
+	case packet.QRY:
+		n.onQRY(p, it)
+	default:
+		panic(fmt.Sprintf("core: node %d received unexpected %v", n.id, p.Kind))
+	}
 }
 
 // closer reports whether candidate is a strictly cheaper provider than

@@ -27,7 +27,7 @@ func TestSendREQDirectFallsBackToRoute(t *testing.T) {
 	}
 	run(t, fx, 100*time.Millisecond)
 
-	n := fx.sys.nodes[11]
+	n := &fx.sys.nodes[11]
 	acq := &acquisition{prone: 0, scone: 0}
 	n.setWant(d, n.item(d), acq)
 	n.sendREQ(d, n.item(d), acq, 0, true) // direct to an unreachable target
@@ -57,7 +57,7 @@ func TestSendREQAbandonsWithoutAnyPath(t *testing.T) {
 	if err := fx.sys.Originate(0, d); err != nil {
 		t.Fatalf("Originate: %v", err)
 	}
-	n := fx.sys.nodes[1]
+	n := &fx.sys.nodes[1]
 	acq := &acquisition{prone: 0, scone: 0}
 	n.setWant(d, n.item(d), acq)
 	n.sendREQ(d, n.item(d), acq, 0, false) // multi-hop with no route at all
@@ -75,7 +75,7 @@ func TestSendREQRespectsAttemptBudget(t *testing.T) {
 	// below, which must refuse because the budget is spent.
 	fx := chainFixture(t, 3, dissem.Everyone, 23)
 	d := packet.DataID{Origin: 0, Seq: 0}
-	n := fx.sys.nodes[2]
+	n := &fx.sys.nodes[2]
 	acq := &acquisition{prone: 0, scone: 0, attempts: fx.sys.cfg.MaxAttempts}
 	n.setWant(d, n.item(d), acq)
 	n.sendREQ(d, n.item(d), acq, 0, true)
@@ -100,7 +100,7 @@ func TestCloserPrefersReachableOverUnreachable(t *testing.T) {
 		t.Fatalf("NewChainField: %v", err)
 	}
 	fx := buildFixture(t, f, dissem.Everyone, DefaultConfig(), 24)
-	n := fx.sys.nodes[0]
+	n := &fx.sys.nodes[0]
 	// Incumbent 2 is unreachable; candidate 1 is also unreachable → false.
 	if n.closer(1, 2) {
 		t.Fatal("unreachable candidate should not win")
@@ -111,7 +111,7 @@ func TestCloserPrefersReachableOverUnreachable(t *testing.T) {
 	}
 	// Connected fixture: cheaper candidate wins, equal-or-worse loses.
 	fx2 := chainFixture(t, 3, dissem.Everyone, 25)
-	n2 := fx2.sys.nodes[2]
+	n2 := &fx2.sys.nodes[2]
 	if !n2.closer(1, 0) {
 		t.Fatal("1-hop candidate should beat 2-hop incumbent")
 	}
@@ -127,7 +127,7 @@ func TestReplyToQueryEmptyTrailDrops(t *testing.T) {
 		t.Fatalf("Originate: %v", err)
 	}
 	run(t, fx, 500*time.Millisecond)
-	n := fx.sys.nodes[0]
+	n := &fx.sys.nodes[0]
 	before := fx.nw.Counters().Drops
 	n.replyToQuery(packet.Packet{Kind: packet.QRY, Meta: d, Requester: 2})
 	if fx.nw.Counters().Drops != before+1 {
@@ -148,7 +148,7 @@ func TestServeDATAUnreachableRequesterDrops(t *testing.T) {
 	// Move node 2 far outside everyone's range, then hand node 0 a "direct"
 	// REQ from it.
 	fx.field.Move(2, fx.field.Bounds().Max)
-	n := fx.sys.nodes[0]
+	n := &fx.sys.nodes[0]
 	before := fx.nw.Counters().Drops
 	n.serveDATA(packet.Packet{
 		Kind: packet.REQ, Meta: d, Src: 2, Dst: 0, Requester: 2, Provider: 0,
@@ -164,7 +164,7 @@ func TestServeDATAUnreachableRequesterDrops(t *testing.T) {
 
 func TestForwardSourceRoutedConsumesTrail(t *testing.T) {
 	fx := chainFixture(t, 3, dissem.Everyone, 28)
-	n := fx.sys.nodes[1]
+	n := &fx.sys.nodes[1]
 	d := packet.DataID{Origin: 0, Seq: 0}
 	// Empty trail: not consumed (falls back to table routing).
 	if n.forwardSourceRouted(packet.Packet{Kind: packet.DATA, Meta: d}) {

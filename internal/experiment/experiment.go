@@ -25,6 +25,7 @@ import (
 	"repro/internal/spin"
 	"repro/internal/topo"
 	"repro/internal/workload"
+	"repro/internal/zone"
 )
 
 // Protocol selects the dissemination protocol under test.
@@ -152,8 +153,12 @@ type Scenario struct {
 	PlacementClusters int           `json:"placementClusters,omitempty"`
 	PlacementSpread   float64       `json:"placementSpread,omitempty"`
 
-	// Traffic.
+	// Traffic. Sources restricts origination to the first Sources node ids
+	// (0 = every node originates, the paper's workloads). Limiting sources
+	// decouples traffic volume from field size — the knob that makes
+	// 10⁵-node fields simulable.
 	PacketsPerNode      int           `json:"packetsPerNode,omitempty"`
+	Sources             int           `json:"sources,omitempty"`
 	MeanArrival         time.Duration `json:"meanArrival,omitempty"`
 	ClusterInterestProb float64       `json:"clusterInterestProb,omitempty"` // Clustered only; default 5%
 
@@ -335,6 +340,9 @@ func (s Scenario) Validate() error {
 	if s.PacketsPerNode < 0 {
 		return fmt.Errorf("experiment: negative packets per node %d", s.PacketsPerNode)
 	}
+	if s.Sources < 0 || s.Sources > s.Nodes {
+		return fmt.Errorf("experiment: source count %d outside [0,%d]", s.Sources, s.Nodes)
+	}
 	if s.MeanArrival < 0 {
 		return fmt.Errorf("experiment: negative mean arrival %v", s.MeanArrival)
 	}
@@ -424,12 +432,31 @@ type Result struct {
 	FailuresInjected int `json:"failuresInjected"`
 }
 
+// RunConfig carries execution knobs that are not part of the scenario's
+// identity: they change how fast a run computes, never what it computes, so
+// they live outside the Scenario — campaign sink output stays byte-identical
+// whatever they are set to.
+type RunConfig struct {
+	// SimWorkers bounds the goroutines the run's data-parallel kernels use
+	// (neighbor-cache warmup, DBF rounds, route derivation, graph builds).
+	// 0 or 1 means serial; values above GOMAXPROCS are clamped. The event
+	// loop itself is always single-threaded (DESIGN.md §5.1); results are
+	// byte-identical at every worker count (DESIGN.md §10).
+	SimWorkers int
+}
+
 // Run executes the scenario to completion and collects metrics.
 func Run(sc Scenario) (Result, error) {
+	return RunWith(sc, RunConfig{})
+}
+
+// RunWith is Run with explicit execution knobs.
+func RunWith(sc Scenario, cfg RunConfig) (Result, error) {
 	sc = sc.WithDefaults()
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
+	workers := zone.Workers(cfg.SimWorkers)
 
 	model, err := radio.ScaledMICA2(sc.ZoneRadius)
 	if err != nil {
@@ -451,6 +478,11 @@ func Run(sc Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if workers > 1 {
+		// Warm every neighbor cache in parallel up front: cache contents are
+		// a pure function of positions, so this only moves work earlier.
+		field.WarmAll(workers)
+	}
 
 	nw, err := network.New(sched, field, netRNG, network.Config{
 		Sizes:        packet.DefaultSizes(),
@@ -465,9 +497,9 @@ func Run(sc Scenario) (Result, error) {
 	var gen *workload.Generator
 	switch sc.Workload {
 	case AllToAll:
-		gen, err = workload.AllToAll(sc.Nodes, sc.PacketsPerNode, sc.MeanArrival, wlRNG)
+		gen, err = workload.AllToAllSources(sc.Nodes, sc.Sources, sc.PacketsPerNode, sc.MeanArrival, wlRNG)
 	case Clustered:
-		gen, err = workload.Clustered(field, sc.PacketsPerNode, sc.MeanArrival, sc.ClusterInterestProb, wlRNG)
+		gen, err = workload.ClusteredSources(field, sc.Sources, sc.PacketsPerNode, sc.MeanArrival, sc.ClusterInterestProb, wlRNG)
 	}
 	if err != nil {
 		return Result{}, err
@@ -480,7 +512,7 @@ func Run(sc Scenario) (Result, error) {
 	)
 	switch sc.Protocol {
 	case SPMS:
-		tables = routing.Compute(routing.BuildGraph(field), sc.RouteAlternatives)
+		tables = routing.ComputeWorkers(routing.BuildGraphWorkers(field, workers), sc.RouteAlternatives, workers)
 		if sc.ChargeInitialDBF {
 			routing.ChargeConvergenceEnergy(tables, field, nw.Sizes(), nw.Energy())
 		}
@@ -525,7 +557,7 @@ func Run(sc Scenario) (Result, error) {
 		if activeEnd > horizon {
 			activeEnd = horizon
 		}
-		if err := scheduleMobility(&res, sc, sched, field, mobRNG, nw, spms, activeEnd); err != nil {
+		if err := scheduleMobility(&res, sc, sched, field, mobRNG, nw, spms, activeEnd, workers); err != nil {
 			return Result{}, err
 		}
 	}
@@ -581,7 +613,7 @@ func placementBounds(sc Scenario) geom.Rect {
 // DESIGN.md) but its radio traffic is fully charged as control energy —
 // the §5.1.3 cost model, applied identically under both models.
 func scheduleMobility(res *Result, sc Scenario, sched *sim.Scheduler, field *topo.Field,
-	rng *sim.RNG, nw *network.Network, spms *core.System, horizon time.Duration) error {
+	rng *sim.RNG, nw *network.Network, spms *core.System, horizon time.Duration, workers int) error {
 	step := func() { field.RelocateFraction(sc.MobilityFraction, rng) }
 	if sc.MobilityModel == MobWaypoint {
 		wp, err := topo.NewWaypoint(field, topo.WaypointConfig{
@@ -603,7 +635,7 @@ func scheduleMobility(res *Result, sc Scenario, sched *sim.Scheduler, field *top
 		step()
 		res.MobilityEvents++
 		if spms != nil {
-			fresh := routing.Compute(routing.BuildGraph(field), sc.RouteAlternatives)
+			fresh := routing.ComputeWorkers(routing.BuildGraphWorkers(field, workers), sc.RouteAlternatives, workers)
 			spms.SetTables(fresh)
 			routing.ChargeConvergenceEnergy(fresh, field, nw.Sizes(), nw.Energy())
 		}

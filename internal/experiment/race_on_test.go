@@ -1,0 +1,8 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether this test binary was built with -race; the
+// 10⁵-node scale test skips itself there (the shadow memory multiplies its
+// footprint and runtime far past CI budgets).
+const raceEnabled = true

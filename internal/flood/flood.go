@@ -24,7 +24,7 @@ type System struct {
 	// everyone regardless of interest.
 	interest dissem.Interest
 	proc     time.Duration
-	nodes    []*node
+	nodes    []node
 }
 
 var _ dissem.Protocol = (*System)(nil)
@@ -40,10 +40,14 @@ func NewSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Inter
 		return nil, fmt.Errorf("flood: negative processing delay %v", proc)
 	}
 	s := &System{nw: nw, ledger: ledger, interest: interest, proc: proc}
-	s.nodes = make([]*node, nw.N())
+	nw.DeferProcessing(proc)
+	// Nodes live in one contiguous slice (allocated once, never grown), so
+	// per-node state is a flat array walk rather than a pointer chase.
+	s.nodes = make([]node, nw.N())
 	for i := range s.nodes {
-		n := &node{sys: s, id: packet.NodeID(i)}
-		s.nodes[i] = n
+		n := &s.nodes[i]
+		n.sys = s
+		n.id = packet.NodeID(i)
 		nw.Bind(n.id, n)
 	}
 	return s, nil
@@ -64,7 +68,7 @@ func (s *System) Originate(src packet.NodeID, d packet.DataID) error {
 	if err := s.ledger.Originate(d, s.nw.Scheduler().Now()); err != nil {
 		return err
 	}
-	n := s.nodes[src]
+	n := &s.nodes[src]
 	n.setSeen(s.ledger.Index(d))
 	n.rebroadcast(d)
 	return nil
@@ -101,27 +105,25 @@ func (n *node) setSeen(it int) {
 
 var _ network.Receiver = (*node)(nil)
 
+// HandlePacket runs the flooding reaction. The processing delay is applied
+// by the network's batched deferred dispatch (DeferProcessing in NewSystem),
+// which also re-checks liveness before calling here.
 func (n *node) HandlePacket(p packet.Packet) {
-	n.sys.nw.Scheduler().After(n.sys.proc, func() {
-		if !n.sys.nw.Alive(n.id) {
-			return
-		}
-		if p.Kind != packet.DATA {
-			panic(fmt.Sprintf("flood: node %d received unexpected %v", n.id, p.Kind))
-		}
-		d := p.Meta
-		it := n.sys.ledger.Index(d)
-		if n.seenItem(it) {
-			n.sys.nw.Counters().Duplicates++
-			return // rebroadcast only the first copy
-		}
-		n.setSeen(it)
-		if n.sys.interest(n.id, d) &&
-			n.sys.ledger.RecordDelivery(n.id, d, n.sys.nw.Scheduler().Now()) {
-			n.sys.nw.Counters().Delivered++
-		}
-		n.rebroadcast(d)
-	})
+	if p.Kind != packet.DATA {
+		panic(fmt.Sprintf("flood: node %d received unexpected %v", n.id, p.Kind))
+	}
+	d := p.Meta
+	it := n.sys.ledger.Index(d)
+	if n.seenItem(it) {
+		n.sys.nw.Counters().Duplicates++
+		return // rebroadcast only the first copy
+	}
+	n.setSeen(it)
+	if n.sys.interest(n.id, d) &&
+		n.sys.ledger.RecordDelivery(n.id, d, n.sys.nw.Scheduler().Now()) {
+		n.sys.nw.Counters().Delivered++
+	}
+	n.rebroadcast(d)
 }
 
 func (n *node) rebroadcast(d packet.DataID) {

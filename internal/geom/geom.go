@@ -122,6 +122,28 @@ func NewCellGrid(bounds Rect, minCell float64, maxPerAxis int) CellGrid {
 	return g
 }
 
+// MaxCellsForCount returns the per-axis cell cap for a grid indexing count
+// points: enough axis resolution that the grid never degenerates at scale,
+// while bounding total bucket memory to O(count).
+//
+// A fixed cap (the spatial index's original 64 per axis) makes cells grow
+// with the field once the extent exceeds cap·minCell, so each 3×3-cell
+// neighbor query scans an ever-larger superset of the true neighborhood —
+// O(N/cap²) per query instead of O(degree). Capping at ~2·√count instead
+// keeps at most ~4·count total cells (constant memory per point) and, on a
+// roughly uniform field, at least ~¼ point per cell — queries stay
+// O(degree) from 10³ to 10⁶ points. The 64 floor preserves the historical
+// cap for small fields, where it never binds.
+func MaxCellsForCount(count int) int {
+	cap := 64
+	if count > 0 {
+		if byDensity := int(math.Ceil(2 * math.Sqrt(float64(count)))); byDensity > cap {
+			cap = byDensity
+		}
+	}
+	return cap
+}
+
 // Cols returns the number of cell columns.
 func (g CellGrid) Cols() int { return g.cols }
 

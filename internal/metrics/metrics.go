@@ -176,17 +176,21 @@ func (d *DelayStats) Percentile(p float64) time.Duration {
 // state machines take the intended paths (e.g. failover counts under
 // injected failures).
 type Counters struct {
-	Sent       map[packet.Kind]uint64 // transmissions by kind
-	Delivered  uint64                 // DATA packets delivered to a requester
-	Duplicates uint64                 // data received that the node already had
-	Timeouts   uint64                 // τADV or τDAT expirations
-	Failovers  uint64                 // requests redirected to SCONE / direct PRONE
-	Drops      uint64                 // packets lost to dead or out-of-range nodes
+	// Sent counts transmissions by kind, indexed directly (c.Sent[packet.ADV]).
+	// A flat array rather than a map: CountSend sits on the per-transmission
+	// hot path, and the array increment is a single indexed store with no
+	// hashing and no allocation.
+	Sent       [packet.NumKinds]uint64
+	Delivered  uint64 // DATA packets delivered to a requester
+	Duplicates uint64 // data received that the node already had
+	Timeouts   uint64 // τADV or τDAT expirations
+	Failovers  uint64 // requests redirected to SCONE / direct PRONE
+	Drops      uint64 // packets lost to dead or out-of-range nodes
 }
 
 // NewCounters returns zeroed counters.
 func NewCounters() *Counters {
-	return &Counters{Sent: make(map[packet.Kind]uint64)}
+	return &Counters{}
 }
 
 // CountSend records one transmission of the given kind.

@@ -1,0 +1,209 @@
+package network
+
+// Tests for deferred (batched) delivery: DeferProcessing replaces the old
+// per-receiver After(Proc) closures with one arg-event per transmission, and
+// these pin the semantics that replacement must preserve — handler timing at
+// completion+proc, receiver order, the silent skip of receivers that die
+// between delivery and processing — plus the allocation-free steady state
+// that motivates the mechanism.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/radio"
+)
+
+// timedRecorder logs each delivery with the simulation time it was handled.
+type timedRecorder struct {
+	fx    *fixture
+	order *[]packet.NodeID // shared across receivers: global handler order
+	id    packet.NodeID
+	times []time.Duration
+}
+
+func (r *timedRecorder) HandlePacket(p packet.Packet) {
+	r.times = append(r.times, r.fx.sched.Now())
+	*r.order = append(*r.order, r.id)
+}
+
+// deferredFixture rebinds the standard 3-node chain fixture with
+// time-logging receivers and switches the network to deferred mode.
+func deferredFixture(t *testing.T, proc time.Duration) (*fixture, []*timedRecorder, *[]packet.NodeID) {
+	t.Helper()
+	fx := newFixture(t, noBackoff())
+	fx.nw.DeferProcessing(proc)
+	order := new([]packet.NodeID)
+	recs := make([]*timedRecorder, 3)
+	for i := range recs {
+		recs[i] = &timedRecorder{fx: fx, order: order, id: packet.NodeID(i)}
+		fx.nw.Bind(packet.NodeID(i), recs[i])
+	}
+	return fx, recs, order
+}
+
+func TestDeferredHandlersRunAtCompletionPlusProc(t *testing.T) {
+	const proc = 5 * time.Millisecond
+	fx, recs, _ := deferredFixture(t, proc)
+
+	var delivered time.Duration
+	fx.nw.SetTrace(func(ev TraceEvent) {
+		if ev.Kind == TraceDeliver {
+			delivered = fx.sched.Now()
+		}
+	})
+	fx.nw.Send(packet.Packet{Kind: packet.ADV, Src: 1, Dst: packet.Broadcast, Level: radio.MaxPower})
+	if err := fx.sched.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if delivered == 0 {
+		t.Fatal("no delivery traced")
+	}
+	for _, r := range []*timedRecorder{recs[0], recs[2]} {
+		if len(r.times) != 1 {
+			t.Fatalf("node %d handled %d packets, want 1", r.id, len(r.times))
+		}
+		if got, want := r.times[0], delivered+proc; got != want {
+			t.Fatalf("node %d handler ran at %v, want delivery(%v)+proc = %v", r.id, got, delivered, want)
+		}
+	}
+}
+
+func TestDeferredBatchPreservesReceiverOrder(t *testing.T) {
+	fx, _, order := deferredFixture(t, time.Millisecond)
+	fx.nw.Send(packet.Packet{Kind: packet.ADV, Src: 1, Dst: packet.Broadcast, Level: radio.MaxPower})
+	if err := fx.sched.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	// ReachedBy order is ascending node id: 0 then 2.
+	if len(*order) != 2 || (*order)[0] != 0 || (*order)[1] != 2 {
+		t.Fatalf("handler order %v, want [0 2]", *order)
+	}
+}
+
+func TestDeferredSkipsReceiverDeadBeforeProcessing(t *testing.T) {
+	// A receiver that fails after delivery (energy charged, trace emitted)
+	// but before completion+proc silently skips its handler — the same
+	// window the old per-receiver After(Proc) closures checked.
+	const proc = 2 * time.Second
+	fx, recs, _ := deferredFixture(t, proc)
+	// The transmission completes within milliseconds; 1s is safely inside
+	// the (completion, completion+proc) window.
+	fx.sched.At(time.Second, func() { fx.nw.Fail(2) })
+	fx.nw.Send(packet.Packet{Kind: packet.ADV, Src: 1, Dst: packet.Broadcast, Level: radio.MaxPower})
+	if err := fx.sched.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if len(recs[0].times) != 1 {
+		t.Fatalf("live receiver handled %d packets, want 1", len(recs[0].times))
+	}
+	if len(recs[2].times) != 0 {
+		t.Fatalf("dead receiver's handler ran %d times, want 0", len(recs[2].times))
+	}
+	// The delivery itself happened while the node was up: it counts as Rx
+	// energy, not as a drop.
+	if fx.nw.Counters().Drops != 0 {
+		t.Fatalf("Drops = %d, want 0 (death after delivery is not a drop)", fx.nw.Counters().Drops)
+	}
+}
+
+func TestDeferProcessingZeroStillBatches(t *testing.T) {
+	// proc=0 matches the old After(0) semantics: handlers run at the
+	// completion instant but in their own event, after onComplete returns.
+	fx, recs, _ := deferredFixture(t, 0)
+	var delivered time.Duration
+	fx.nw.SetTrace(func(ev TraceEvent) {
+		if ev.Kind == TraceDeliver {
+			delivered = fx.sched.Now()
+		}
+	})
+	fx.nw.Send(packet.Packet{Kind: packet.ADV, Src: 0, Dst: 1, Level: 1})
+	if err := fx.sched.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if len(recs[1].times) != 1 || recs[1].times[0] != delivered {
+		t.Fatalf("unicast handler times %v, want one handling at delivery time %v", recs[1].times, delivered)
+	}
+}
+
+// forwarder re-Sends from its own node on the first packet it handles —
+// the re-entrant case that grows the flight arena mid-batch.
+type forwarder struct {
+	fx   *fixture
+	id   packet.NodeID
+	got  int
+	sent bool
+}
+
+func (f *forwarder) HandlePacket(p packet.Packet) {
+	f.got++
+	if !f.sent {
+		f.sent = true
+		f.fx.nw.Send(packet.Packet{Kind: packet.ADV, Src: f.id, Dst: packet.Broadcast, Level: radio.MaxPower})
+	}
+}
+
+func TestDeferredReentrantSendGrowsArenaSafely(t *testing.T) {
+	// Handlers Sending mid-batch append new flights; the batch must keep
+	// iterating its own (possibly relocated) slot without losing receivers.
+	fx := newFixture(t, noBackoff())
+	fx.nw.DeferProcessing(time.Millisecond)
+	fwds := make([]*forwarder, 3)
+	for i := range fwds {
+		fwds[i] = &forwarder{fx: fx, id: packet.NodeID(i)}
+		fx.nw.Bind(packet.NodeID(i), fwds[i])
+	}
+	fx.nw.Send(packet.Packet{Kind: packet.ADV, Src: 1, Dst: packet.Broadcast, Level: radio.MaxPower})
+	if err := fx.sched.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	// At max power every broadcast reaches both other nodes. Each node
+	// forwards exactly once: 4 transmissions × 2 receivers = 8 deliveries,
+	// 3 at the ends (seed + two forwards) and 2 at the seeding middle node.
+	total := fwds[0].got + fwds[1].got + fwds[2].got
+	if total != 8 || fwds[0].got != 3 || fwds[1].got != 2 || fwds[2].got != 3 {
+		t.Fatalf("deliveries %d/%d/%d (total %d), want 3/2/3", fwds[0].got, fwds[1].got, fwds[2].got, total)
+	}
+	if got := fx.nw.Counters().TotalSent(); got != 4 {
+		t.Fatalf("TotalSent = %d, want 4", got)
+	}
+}
+
+// countingRecorder handles packets without retaining them, so the steady
+// state allocates nothing on the receiver side either.
+type countingRecorder struct{ n int }
+
+func (r *countingRecorder) HandlePacket(packet.Packet) { r.n++ }
+
+// TestBatchedDispatchAllocFree is the 0-alloc guard on the batched dispatch
+// path (run in CI): after warmup, a full Send → complete → batched-handler
+// cycle must not allocate — flight slots, destination lists, and scheduler
+// events are all pooled, and the pre-bound method values avoid the
+// per-packet closures this design replaced.
+func TestBatchedDispatchAllocFree(t *testing.T) {
+	fx := newFixture(t, noBackoff())
+	fx.nw.DeferProcessing(time.Millisecond)
+	recs := make([]*countingRecorder, 3)
+	for i := range recs {
+		recs[i] = &countingRecorder{}
+		fx.nw.Bind(packet.NodeID(i), recs[i])
+	}
+	lvl := radio.MaxPower
+	cycle := func() {
+		for i := 0; i < 16; i++ {
+			fx.nw.Send(packet.Packet{Kind: packet.ADV, Src: 1, Dst: packet.Broadcast, Level: lvl})
+			fx.nw.Send(packet.Packet{Kind: packet.DATA, Src: 0, Dst: 1, Level: 1})
+		}
+		if err := fx.sched.RunUntilIdle(0); err != nil {
+			t.Error(err)
+		}
+	}
+	cycle() // warm the arena, dsts capacity, and event pool
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("steady-state batched dispatch allocated %.1f times per cycle, want 0", allocs)
+	}
+	if recs[0].n == 0 || recs[1].n == 0 {
+		t.Fatal("no deliveries recorded — cycle did not exercise the dispatch path")
+	}
+}

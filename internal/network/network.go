@@ -92,6 +92,17 @@ func DefaultConfig() Config {
 	return Config{Sizes: packet.DefaultSizes(), MAC: mac.AnalyticConfig()}
 }
 
+// flight is one in-flight transmission in the pooled arena: the packet on
+// the air and, in deferred-processing mode, the receivers it reached alive
+// at delivery time (the batch the T+Proc dispatch walks). Slots are
+// recycled through a free list, so the steady-state transmission cycle —
+// Send → complete → batch-dispatch — allocates nothing once the arena and
+// each slot's dsts buffer have grown to the working set.
+type flight struct {
+	p    packet.Packet
+	dsts []packet.NodeID
+}
+
 // Network is the radio medium plus node liveness. It implements
 // fault.Target so the injector can drive it.
 type Network struct {
@@ -108,6 +119,21 @@ type Network struct {
 	// their own transmissions past this point (carrier sense).
 	busyUntil    []time.Duration
 	carrierSense bool
+
+	// In-flight transmission arena plus the pre-bound event handlers
+	// (method values created once so AtArg scheduling never allocates).
+	flights     []flight
+	freeFlights []uint64
+	completeFn  sim.ArgHandler
+	deliverFn   sim.ArgHandler
+
+	// Deferred processing (DeferProcessing): when enabled, a completed
+	// transmission charges energy and traces per receiver at delivery time
+	// T as always, but runs the protocol handlers of all its receivers in
+	// one batched event at T+proc — one heap event per transmission instead
+	// of one per receiver.
+	deferred bool
+	proc     time.Duration
 
 	energy *metrics.EnergyAccount
 	count  *metrics.Counters
@@ -132,7 +158,7 @@ func New(sched *sim.Scheduler, field *topo.Field, rng *sim.RNG, cfg Config) (*Ne
 	for i := range alive {
 		alive[i] = true
 	}
-	return &Network{
+	nw := &Network{
 		sched:        sched,
 		field:        field,
 		csma:         csma,
@@ -144,7 +170,59 @@ func New(sched *sim.Scheduler, field *topo.Field, rng *sim.RNG, cfg Config) (*Ne
 		carrierSense: cfg.CarrierSense,
 		energy:       metrics.NewEnergyAccount(n),
 		count:        metrics.NewCounters(),
-	}, nil
+	}
+	// Method values allocate at each evaluation; binding them once here
+	// keeps the per-transmission scheduling path allocation-free.
+	nw.completeFn = nw.onComplete
+	nw.deliverFn = nw.onDeliverBatch
+	return nw, nil
+}
+
+// DeferProcessing switches delivery into batched mode: every receiver of a
+// completed transmission still pays energy, tracing, and liveness checks
+// individually at delivery time T, but the protocol handlers run together
+// in a single event at T+proc (with a per-receiver liveness re-check, since
+// a node can fail between delivery and processing). This replaces the
+// protocols' historical per-receiver After(Proc) closure — one pooled heap
+// event per transmission instead of one allocated closure per receiver —
+// and preserves event order exactly: the per-receiver events it replaces
+// were scheduled back-to-back with consecutive sequence numbers, so nothing
+// could interleave between them anyway.
+//
+// Protocol constructors call this with their processing delay; networks
+// driven directly by tests keep the synchronous immediate-dispatch path.
+func (nw *Network) DeferProcessing(proc time.Duration) {
+	if proc < 0 {
+		panic(fmt.Sprintf("network: negative processing delay %v", proc))
+	}
+	nw.deferred = true
+	nw.proc = proc
+}
+
+// allocFlight takes a pooled arena slot for a departing packet. The returned
+// index — not a pointer — is what events carry: the arena's backing array
+// may move when it grows mid-handler.
+func (nw *Network) allocFlight(p packet.Packet) uint64 {
+	var idx uint64
+	if n := len(nw.freeFlights); n > 0 {
+		idx = nw.freeFlights[n-1]
+		nw.freeFlights = nw.freeFlights[:n-1]
+	} else {
+		nw.flights = append(nw.flights, flight{})
+		idx = uint64(len(nw.flights) - 1)
+	}
+	fl := &nw.flights[idx]
+	fl.p = p
+	fl.dsts = fl.dsts[:0]
+	return idx
+}
+
+// freeFlight returns a slot to the pool, keeping its dsts capacity.
+func (nw *Network) freeFlight(idx uint64) {
+	fl := &nw.flights[idx]
+	fl.p = packet.Packet{}
+	fl.dsts = fl.dsts[:0]
+	nw.freeFlights = append(nw.freeFlights, idx)
 }
 
 // Bind attaches the protocol instance for node id. Must be called for every
@@ -255,16 +333,20 @@ func (nw *Network) Send(p packet.Packet) {
 	nw.count.CountSend(p.Kind)
 	nw.emit(TraceEvent{Kind: TraceTx, Packet: p, Node: p.Src})
 
-	nw.sched.At(end, func() { nw.complete(p) })
+	nw.sched.AtArg(end, nw.completeFn, nw.allocFlight(p))
 }
 
-// complete finishes a transmission: verifies the sender survived the
-// airtime, charges energies, and delivers to the recipient set.
-func (nw *Network) complete(p packet.Packet) {
+// onComplete finishes the transmission in arena slot arg: verifies the
+// sender survived the airtime, charges energies, and delivers to the
+// recipient set. In deferred mode the recipients' handlers run later in one
+// batched event; otherwise they run here, synchronously, in receiver order.
+func (nw *Network) onComplete(arg uint64) {
+	p := nw.flights[arg].p
 	if !nw.alive[p.Src] {
 		// Sender failed mid-transmission: the frame never finished.
 		nw.count.Drops++
 		nw.emit(TraceEvent{Kind: TraceDrop, Packet: p, Node: p.Src, Reason: "sender failed mid-tx"})
+		nw.freeFlight(arg)
 		return
 	}
 	model := nw.field.Model()
@@ -272,21 +354,32 @@ func (nw *Network) complete(p packet.Packet) {
 
 	if p.Dst == packet.Broadcast {
 		for _, dst := range nw.field.ReachedBy(p.Src, p.Level) {
-			nw.deliver(p, dst)
+			nw.deliver(arg, p, dst)
 		}
+	} else {
+		nw.check(p.Dst)
+		if !nw.field.InRange(p.Src, p.Dst, p.Level) {
+			// Receiver moved out of range during the exchange.
+			nw.count.Drops++
+			nw.emit(TraceEvent{Kind: TraceDrop, Packet: p, Node: p.Dst, Reason: "out of range"})
+			nw.freeFlight(arg)
+			return
+		}
+		nw.deliver(arg, p, p.Dst)
+	}
+	// Re-take the slot pointer: synchronous handlers may have Sent, growing
+	// the arena and moving its backing array.
+	if fl := &nw.flights[arg]; nw.deferred && len(fl.dsts) > 0 {
+		nw.sched.AtArg(nw.sched.Now()+nw.proc, nw.deliverFn, arg)
 		return
 	}
-	nw.check(p.Dst)
-	if !nw.field.InRange(p.Src, p.Dst, p.Level) {
-		// Receiver moved out of range during the exchange.
-		nw.count.Drops++
-		nw.emit(TraceEvent{Kind: TraceDrop, Packet: p, Node: p.Dst, Reason: "out of range"})
-		return
-	}
-	nw.deliver(p, p.Dst)
+	nw.freeFlight(arg)
 }
 
-func (nw *Network) deliver(p packet.Packet, dst packet.NodeID) {
+// deliver records the delivery of p to dst at the current (completion)
+// time: liveness check, receive energy, trace. In deferred mode the handler
+// call is queued on the flight's batch; otherwise it runs immediately.
+func (nw *Network) deliver(arg uint64, p packet.Packet, dst packet.NodeID) {
 	if !nw.alive[dst] {
 		nw.count.Drops++
 		nw.emit(TraceEvent{Kind: TraceDrop, Packet: p, Node: dst, Reason: "receiver down"})
@@ -294,11 +387,42 @@ func (nw *Network) deliver(p packet.Packet, dst packet.NodeID) {
 	}
 	nw.energy.AddRx(dst, nw.field.Model().RxEnergy(p.Bytes))
 	nw.emit(TraceEvent{Kind: TraceDeliver, Packet: p, Node: dst})
+	if nw.deferred {
+		fl := &nw.flights[arg]
+		fl.dsts = append(fl.dsts, dst)
+		return
+	}
 	h := nw.handlers[dst]
 	if h == nil {
 		panic(fmt.Sprintf("network: node %d has no bound receiver", dst))
 	}
 	h.HandlePacket(p)
+}
+
+// onDeliverBatch runs the protocol handlers of every receiver collected at
+// completion time, in delivery order, re-checking liveness: a receiver that
+// failed between delivery and processing silently skips its handler, exactly
+// as the per-receiver After(Proc) closures it replaces did. Handlers may
+// Send (growing the arena), so the slot is re-indexed each iteration and
+// freed only after the last handler returns.
+func (nw *Network) onDeliverBatch(arg uint64) {
+	p := nw.flights[arg].p
+	for i := 0; ; i++ {
+		fl := &nw.flights[arg]
+		if i >= len(fl.dsts) {
+			break
+		}
+		dst := fl.dsts[i]
+		if !nw.alive[dst] {
+			continue
+		}
+		h := nw.handlers[dst]
+		if h == nil {
+			panic(fmt.Sprintf("network: node %d has no bound receiver", dst))
+		}
+		h.HandlePacket(p)
+	}
+	nw.freeFlight(arg)
 }
 
 func (nw *Network) check(id packet.NodeID) {

@@ -35,6 +35,10 @@ const (
 	QRY
 )
 
+// NumKinds is one past the largest Kind value, sized for direct array
+// indexing by kind (index 0 is unused since kinds start at 1).
+const NumKinds = int(QRY) + 1
+
 // String returns the conventional protocol name of the kind.
 func (k Kind) String() string {
 	switch k {

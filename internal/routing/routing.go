@@ -21,6 +21,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/radio"
 	"repro/internal/topo"
+	"repro/internal/zone"
 )
 
 // DefaultAlternatives is the number of next-hop entries kept per
@@ -46,19 +47,30 @@ type Graph struct {
 // exists between every pair of zone neighbors, weighted by the minimum
 // power to cross it.
 func BuildGraph(f *topo.Field) *Graph {
+	return BuildGraphWorkers(f, 1)
+}
+
+// BuildGraphWorkers is BuildGraph over up to workers goroutines. The field's
+// neighbor caches are warmed first (topo.Field.WarmAll), after which each
+// node's adjacency row is a pure function of positions written only by its
+// own worker — the graph is identical for every worker count.
+func BuildGraphWorkers(f *topo.Field, workers int) *Graph {
 	n := f.N()
 	g := &Graph{n: n, adj: make([][]Edge, n)}
 	m := f.Model()
-	for i := 0; i < n; i++ {
-		src := packet.NodeID(i)
-		for _, dst := range f.ZoneNeighbors(src) {
-			level, ok := f.LevelTo(src, dst)
-			if !ok {
-				continue // zone boundary race after a move; skip
+	f.WarmAll(workers)
+	zone.For(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := packet.NodeID(i)
+			for _, dst := range f.ZoneNeighbors(src) {
+				level, ok := f.LevelTo(src, dst)
+				if !ok {
+					continue // zone boundary race after a move; skip
+				}
+				g.adj[i] = append(g.adj[i], Edge{To: dst, WeightMW: m.PowerMW(level), Level: level})
 			}
-			g.adj[i] = append(g.adj[i], Edge{To: dst, WeightMW: m.PowerMW(level), Level: level})
 		}
-	}
+	})
 	return g
 }
 
@@ -98,6 +110,20 @@ type Tables struct {
 // Compute runs synchronous DBF to convergence and derives k-alternative
 // routing tables. k < 1 is treated as DefaultAlternatives.
 func Compute(g *Graph, k int) *Tables {
+	return ComputeWorkers(g, k, 1)
+}
+
+// ComputeWorkers is Compute over up to workers goroutines. The synchronous
+// DBF round structure is exactly what makes it parallel-safe: within a
+// round every node reads only the previous generation's vectors
+// (double-buffered) and writes only its own row, so rows partition across
+// workers with no synchronization beyond the round barrier. Each node's row
+// is computed by the identical instruction sequence regardless of worker
+// count — same float operations in the same order — so the converged tables
+// are bit-identical at any worker count. The broadcast accounting (a
+// cross-node reduction the mobility experiments charge energy by) stays
+// serial in node order between rounds.
+func ComputeWorkers(g *Graph, k, workers int) *Tables {
 	if k < 1 {
 		k = DefaultAlternatives
 	}
@@ -110,34 +136,31 @@ func Compute(g *Graph, k int) *Tables {
 		routes:        make([][][]Entry, n),
 		perNodeBcasts: make([]int, n),
 	}
-	for i := 0; i < n; i++ {
-		t.dist[i] = make([]float64, n)
-		t.hops[i] = make([]int, n)
-		for d := 0; d < n; d++ {
-			if i == d {
-				t.dist[i][d] = 0
-			} else {
-				t.dist[i][d] = math.Inf(1)
-				t.hops[i][d] = -1
-			}
-		}
-	}
-
 	// Round 0: every node announces its initial vector (distance 0 to
 	// itself) to its neighbors. The two vector generations are
 	// double-buffered and swapped between rounds — the synchronous
 	// read-old/write-new update without reallocating O(N²) state per round.
 	changed := make([]bool, n)
 	next := make([]bool, n)
-	for i := range changed {
-		changed[i] = true
-	}
 	newDist := make([][]float64, n)
 	newHops := make([][]int, n)
-	for i := 0; i < n; i++ {
-		newDist[i] = make([]float64, n)
-		newHops[i] = make([]int, n)
-	}
+	zone.For(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.dist[i] = make([]float64, n)
+			t.hops[i] = make([]int, n)
+			for d := 0; d < n; d++ {
+				if i == d {
+					t.dist[i][d] = 0
+				} else {
+					t.dist[i][d] = math.Inf(1)
+					t.hops[i][d] = -1
+				}
+			}
+			changed[i] = true
+			newDist[i] = make([]float64, n)
+			newHops[i] = make([]int, n)
+		}
+	})
 	inf := math.Inf(1)
 	for {
 		anyChanged := false
@@ -154,38 +177,41 @@ func Compute(g *Graph, k int) *Tables {
 		t.rounds++
 
 		// Each node recomputes from the vectors its neighbors broadcast
-		// this round.
-		for i := 0; i < n; i++ {
-			next[i] = false
-			di, hi := newDist[i], newHops[i]
-			copy(di, t.dist[i])
-			copy(hi, t.hops[i])
-			for _, e := range g.adj[i] {
-				if !changed[e.To] {
-					continue // that neighbor did not broadcast this round
-				}
-				dj, hj := t.dist[e.To], t.hops[e.To]
-				w := e.WeightMW
-				for d := 0; d < n; d++ {
-					if i == d || dj[d] == inf {
-						continue
+		// this round. Disjoint writes: node i's worker owns next[i],
+		// newDist[i], newHops[i] and reads only previous-generation state.
+		zone.For(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next[i] = false
+				di, hops := newDist[i], newHops[i]
+				copy(di, t.dist[i])
+				copy(hops, t.hops[i])
+				for _, e := range g.adj[i] {
+					if !changed[e.To] {
+						continue // that neighbor did not broadcast this round
 					}
-					cand := w + dj[d]
-					if cand < di[d]-costEpsilon ||
-						(approxEqual(cand, di[d]) && 1+hj[d] < hi[d]) {
-						di[d] = cand
-						hi[d] = 1 + hj[d]
-						next[i] = true
+					dj, hj := t.dist[e.To], t.hops[e.To]
+					w := e.WeightMW
+					for d := 0; d < n; d++ {
+						if i == d || dj[d] == inf {
+							continue
+						}
+						cand := w + dj[d]
+						if cand < di[d]-costEpsilon ||
+							(approxEqual(cand, di[d]) && 1+hj[d] < hops[d]) {
+							di[d] = cand
+							hops[d] = 1 + hj[d]
+							next[i] = true
+						}
 					}
 				}
 			}
-		}
+		})
 		t.dist, newDist = newDist, t.dist
 		t.hops, newHops = newHops, t.hops
 		changed, next = next, changed
 	}
 
-	t.deriveRoutes(g)
+	t.deriveRoutes(g, workers)
 	return t
 }
 
@@ -199,56 +225,63 @@ func approxEqual(a, b float64) bool { return math.Abs(a-b) <= costEpsilon }
 // w(src,j) + dist(j,dst); keep the best k with distinct next hops. One
 // scratch buffer collects candidates per pair (the comparator's NextHop
 // tie-break makes the order total, so the sort result is unique); the kept
-// prefix is copied into a shared arena so the N² route slices cost O(N²·k)
+// prefix is copied into an arena so the N² route slices cost O(N²·k)
 // memory in a handful of allocations instead of one allocation per pair.
-func (t *Tables) deriveRoutes(g *Graph) {
-	var scratch []Entry
-	arena := make([]Entry, 0, t.n*t.k) // grown in whole-row steps as needed
-	for i := 0; i < t.n; i++ {
-		t.routes[i] = make([][]Entry, t.n)
-		for d := 0; d < t.n; d++ {
-			if i == d {
-				continue
-			}
-			cands := scratch[:0]
-			for _, e := range g.adj[i] {
-				j := int(e.To)
-				if math.IsInf(t.dist[j][d], 1) {
+//
+// Rows partition across workers: each (i, d) entry is a pure function of
+// the converged distances, written only by the worker owning row i, with
+// per-worker scratch and arena — so the tables are identical at any worker
+// count.
+func (t *Tables) deriveRoutes(g *Graph, workers int) {
+	zone.For(workers, t.n, func(_, lo, hi int) {
+		var scratch []Entry
+		arena := make([]Entry, 0, t.n*t.k) // grown in whole-row steps as needed
+		for i := lo; i < hi; i++ {
+			t.routes[i] = make([][]Entry, t.n)
+			for d := 0; d < t.n; d++ {
+				if i == d {
 					continue
 				}
-				cands = append(cands, Entry{
-					NextHop: e.To,
-					Cost:    e.WeightMW + t.dist[j][d],
-					Hops:    1 + t.hops[j][d],
-				})
-			}
-			scratch = cands
-			slices.SortFunc(cands, func(a, b Entry) int {
-				if !approxEqual(a.Cost, b.Cost) {
-					if a.Cost < b.Cost {
-						return -1
+				cands := scratch[:0]
+				for _, e := range g.adj[i] {
+					j := int(e.To)
+					if math.IsInf(t.dist[j][d], 1) {
+						continue
 					}
-					return 1
+					cands = append(cands, Entry{
+						NextHop: e.To,
+						Cost:    e.WeightMW + t.dist[j][d],
+						Hops:    1 + t.hops[j][d],
+					})
 				}
-				if a.Hops != b.Hops {
-					return a.Hops - b.Hops
+				scratch = cands
+				slices.SortFunc(cands, func(a, b Entry) int {
+					if !approxEqual(a.Cost, b.Cost) {
+						if a.Cost < b.Cost {
+							return -1
+						}
+						return 1
+					}
+					if a.Hops != b.Hops {
+						return a.Hops - b.Hops
+					}
+					return int(a.NextHop) - int(b.NextHop)
+				})
+				if len(cands) > t.k {
+					cands = cands[:t.k]
 				}
-				return int(a.NextHop) - int(b.NextHop)
-			})
-			if len(cands) > t.k {
-				cands = cands[:t.k]
+				if len(cands) == 0 {
+					continue
+				}
+				if cap(arena)-len(arena) < len(cands) {
+					arena = make([]Entry, 0, t.n*t.k)
+				}
+				start := len(arena)
+				arena = append(arena, cands...)
+				t.routes[i][d] = arena[start:len(arena):len(arena)]
 			}
-			if len(cands) == 0 {
-				continue
-			}
-			if cap(arena)-len(arena) < len(cands) {
-				arena = make([]Entry, 0, t.n*t.k)
-			}
-			start := len(arena)
-			arena = append(arena, cands...)
-			t.routes[i][d] = arena[start:len(arena):len(arena)]
 		}
-	}
+	})
 }
 
 // Rounds returns how many synchronous rounds DBF took to converge.

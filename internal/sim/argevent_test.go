@@ -1,0 +1,119 @@
+package sim
+
+// Tests for the argument-carrying event path (AtArg/AfterArg): ordering
+// against closure events, argument fidelity, Timer cancellation, and the
+// allocation-free guarantee that motivates the whole mechanism.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAtArgDispatchesWithArgument(t *testing.T) {
+	s := NewScheduler()
+	var got []uint64
+	h := func(arg uint64) { got = append(got, arg) }
+	s.AtArg(2*time.Millisecond, h, 42)
+	s.AtArg(time.Millisecond, h, 7)
+	s.AfterArg(3*time.Millisecond, h, 99)
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	want := []uint64{7, 42, 99}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatched %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtArgFIFOWithClosureEvents(t *testing.T) {
+	// Arg events and closure events scheduled at the same instant dispatch
+	// in scheduling order: the (at, seq) total order is shared, not
+	// per-mechanism.
+	s := NewScheduler()
+	var order []int
+	s.At(time.Millisecond, func() { order = append(order, 0) })
+	s.AtArg(time.Millisecond, func(uint64) { order = append(order, 1) }, 0)
+	s.At(time.Millisecond, func() { order = append(order, 2) })
+	s.AtArg(time.Millisecond, func(uint64) { order = append(order, 3) }, 0)
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed dispatch order %v, want ascending", order)
+		}
+	}
+}
+
+func TestAtArgTimerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.AtArg(time.Millisecond, func(uint64) { fired = true }, 5)
+	if !tm.Active() {
+		t.Fatal("pending arg timer not active")
+	}
+	if !tm.Cancel() {
+		t.Fatal("Cancel on pending arg timer returned false")
+	}
+	if tm.Active() {
+		t.Fatal("stopped arg timer still active")
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled arg event fired")
+	}
+}
+
+func TestAtArgSlotReuseClearsHandler(t *testing.T) {
+	// An arg event's slot, once recycled for a closure event, must dispatch
+	// the closure — not the stale ArgHandler.
+	s := NewScheduler()
+	argFired, fnFired := 0, 0
+	s.AtArg(time.Millisecond, func(uint64) { argFired++ }, 1)
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	s.After(time.Millisecond, func() { fnFired++ })
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if argFired != 1 || fnFired != 1 {
+		t.Fatalf("argFired=%d fnFired=%d, want 1/1", argFired, fnFired)
+	}
+}
+
+// TestAtArgSteadyStateAllocFree is the arg-event counterpart of
+// TestSchedulerSteadyStateAllocFree: a pre-bound handler plus a uint64
+// argument must schedule and dispatch with zero heap allocations, because
+// that pair is exactly what the network layer uses to avoid per-packet
+// closures.
+func TestAtArgSteadyStateAllocFree(t *testing.T) {
+	s := NewScheduler()
+	var sink uint64
+	h := ArgHandler(func(arg uint64) { sink += arg })
+	for i := 0; i < 1024; i++ {
+		s.AfterArg(time.Microsecond, h, uint64(i))
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			s.AfterArg(time.Microsecond, h, uint64(i))
+		}
+		if err := s.RunUntilIdle(0); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arg-event cycle allocated %.1f times, want 0", allocs)
+	}
+	_ = sink
+}

@@ -28,16 +28,27 @@ var ErrStopped = errors.New("sim: stopped")
 // event's timestamp.
 type Handler func()
 
+// ArgHandler is a scheduled callback that receives the argument it was
+// scheduled with (AtArg/AfterArg). Carrying the argument through the event
+// arena lets hot paths schedule a method value plus an index instead of
+// allocating a fresh closure per event — the network layer's transmission
+// and delivery-batch events use this to keep the steady-state schedule →
+// dispatch → recycle cycle allocation-free.
+type ArgHandler func(arg uint64)
+
 // event is one arena slot. seq breaks ties between events at the same
 // virtual instant so dispatch order is deterministic; it is also the
 // event's identity — unique over the scheduler's whole lifetime — so a
 // Timer holding the seq it was issued under can never alias the slot's
 // next occupant, even after arbitrarily many reuses. pos is the slot's
-// current position in the heap, -1 while free.
+// current position in the heap, -1 while free. Exactly one of fn/afn is
+// set; afn events carry arg.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  Handler
+	afn ArgHandler
+	arg uint64
 	pos int32
 }
 
@@ -142,6 +153,8 @@ func (s *Scheduler) alloc() int32 {
 func (s *Scheduler) release(idx int32) {
 	ev := &s.arena[idx]
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = 0
 	ev.pos = -1
 	s.free = append(s.free, idx)
 }
@@ -250,6 +263,34 @@ func (s *Scheduler) After(d time.Duration, fn Handler) Timer {
 	return s.At(s.now+d, fn)
 }
 
+// AtArg schedules fn(arg) to run at the absolute virtual time at. It is the
+// allocation-free sibling of At: fn is typically a method value created once
+// and reused, and arg an index into caller-owned pooled state, so the hot
+// path schedules without materializing a closure. Ordering, Timer semantics,
+// and the past-scheduling panic are identical to At.
+func (s *Scheduler) AtArg(at time.Duration, fn ArgHandler, arg uint64) Timer {
+	if fn == nil {
+		panic("sim: Scheduler.AtArg: nil handler")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: Scheduler.AtArg: scheduling at %v before now %v", at, s.now))
+	}
+	idx := s.alloc()
+	ev := &s.arena[idx]
+	ev.at = at
+	ev.seq = s.seq
+	ev.afn = fn
+	ev.arg = arg
+	s.seq++
+	s.heapPush(idx)
+	return Timer{s: s, idx: idx, seq: ev.seq, at: at}
+}
+
+// AfterArg schedules fn(arg) to run d after the current virtual time.
+func (s *Scheduler) AfterArg(d time.Duration, fn ArgHandler, arg uint64) Timer {
+	return s.AtArg(s.now+d, fn, arg)
+}
+
 // Stop makes the current or next Run call return ErrStopped after the
 // in-flight handler (if any) completes.
 func (s *Scheduler) Stop() { s.stopped = true }
@@ -264,11 +305,15 @@ func (s *Scheduler) step() bool {
 	idx := s.heap[0].idx
 	s.heapRemove(0)
 	ev := &s.arena[idx]
-	at, fn := ev.at, ev.fn
+	at, fn, afn, arg := ev.at, ev.fn, ev.afn, ev.arg
 	s.release(idx)
 	s.now = at
 	s.dispatched++
-	fn()
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

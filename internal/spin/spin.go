@@ -46,7 +46,7 @@ type System struct {
 	ledger   *dissem.Ledger
 	interest dissem.Interest
 	cfg      Config
-	nodes    []*node
+	nodes    []node
 }
 
 var _ dissem.Protocol = (*System)(nil)
@@ -67,10 +67,14 @@ func NewSystem(nw *network.Network, ledger *dissem.Ledger, interest dissem.Inter
 		cfg.PendingTimeout = derivePendingTimeout(nw, cfg.Proc)
 	}
 	s := &System{nw: nw, ledger: ledger, interest: interest, cfg: cfg}
-	s.nodes = make([]*node, nw.N())
+	nw.DeferProcessing(cfg.Proc)
+	// Nodes live in one contiguous slice (allocated once, never grown), so
+	// per-node state is a flat array walk rather than a pointer chase.
+	s.nodes = make([]node, nw.N())
 	for i := range s.nodes {
-		n := &node{sys: s, id: packet.NodeID(i)}
-		s.nodes[i] = n
+		n := &s.nodes[i]
+		n.sys = s
+		n.id = packet.NodeID(i)
 		nw.Bind(n.id, n)
 	}
 	return s, nil
@@ -119,7 +123,7 @@ func (s *System) Originate(src packet.NodeID, d packet.DataID) error {
 	if err := s.ledger.Originate(d, s.nw.Scheduler().Now()); err != nil {
 		return err
 	}
-	n := s.nodes[src]
+	n := &s.nodes[src]
 	it := s.ledger.Index(d)
 	n.setHas(it)
 	n.advertise(d, it)
@@ -164,29 +168,25 @@ func (n *node) setHas(it int) {
 
 var _ network.Receiver = (*node)(nil)
 
-// HandlePacket defers protocol processing by the processing delay, matching
-// the paper's explicit Tproc term ("this eliminates the unrealistic
-// simplification in the SPIN simulations where the data is taken to be
-// processed instantaneously").
+// HandlePacket runs the protocol reaction to p. The paper's explicit Tproc
+// term ("this eliminates the unrealistic simplification in the SPIN
+// simulations where the data is taken to be processed instantaneously") is
+// applied by the network's batched deferred dispatch (DeferProcessing in
+// NewSystem), which also re-checks liveness before calling here.
 func (n *node) HandlePacket(p packet.Packet) {
-	n.sys.nw.Scheduler().After(n.sys.cfg.Proc, func() {
-		if !n.sys.nw.Alive(n.id) {
-			return // failed while processing; the packet is lost
-		}
-		it := n.sys.ledger.Index(p.Meta)
-		switch p.Kind {
-		case packet.ADV:
-			n.onADV(p, it)
-		case packet.REQ:
-			n.onREQ(p, it)
-		case packet.DATA:
-			n.onDATA(p, it)
-		default:
-			// SPIN has no other traffic; CTRL packets would indicate a
-			// miswired experiment.
-			panic(fmt.Sprintf("spin: node %d received unexpected %v", n.id, p.Kind))
-		}
-	})
+	it := n.sys.ledger.Index(p.Meta)
+	switch p.Kind {
+	case packet.ADV:
+		n.onADV(p, it)
+	case packet.REQ:
+		n.onREQ(p, it)
+	case packet.DATA:
+		n.onDATA(p, it)
+	default:
+		// SPIN has no other traffic; CTRL packets would indicate a
+		// miswired experiment.
+		panic(fmt.Sprintf("spin: node %d received unexpected %v", n.id, p.Kind))
+	}
 }
 
 // onADV requests advertised data the node needs and is not already waiting

@@ -36,16 +36,16 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/packet"
+	"repro/internal/zone"
 )
-
-// maxCellsPerAxis caps the bucket grid so a sparse field (tiny radio range
-// in a huge rectangle) cannot allocate an unbounded number of buckets. 64²
-// buckets comfortably covers the repo's largest field (1024 nodes).
-const maxCellsPerAxis = 64
 
 // spatialIndex is the uniform bucket grid: buckets[c] holds the ids of the
 // nodes currently inside cell c, in no particular order (query results are
-// sorted by the cache layer, so bucket order never reaches callers).
+// sorted by the cache layer, so bucket order never reaches callers). The
+// per-axis cell cap is derived from the node count (geom.MaxCellsForCount)
+// so bucket memory stays O(N) while neighbor queries stay O(degree) at any
+// scale; cell contents are a pure function of positions, so the cap choice
+// never changes query results — only how much gets scanned to produce them.
 type spatialIndex struct {
 	grid    geom.CellGrid
 	buckets [][]packet.NodeID
@@ -54,7 +54,7 @@ type spatialIndex struct {
 
 func newSpatialIndex(bounds geom.Rect, cellSize float64, pos []geom.Point) *spatialIndex {
 	s := &spatialIndex{
-		grid: geom.NewCellGrid(bounds, cellSize, maxCellsPerAxis),
+		grid: geom.NewCellGrid(bounds, cellSize, geom.MaxCellsForCount(len(pos))),
 		cell: make([]int32, len(pos)),
 	}
 	s.buckets = make([][]packet.NodeID, s.grid.NumCells())
@@ -129,6 +129,15 @@ type candidate struct {
 	d2 float64
 }
 
+// rebuildScratch is the reusable workspace one rebuild needs: the candidate
+// buffer and the per-level counts. The Field owns one for the lazy
+// single-threaded path; WarmAll allocates one per worker so parallel
+// rebuilds never share it.
+type rebuildScratch struct {
+	cands  []candidate
+	counts []int // per-level counts, len == NumLevels
+}
+
 // ensure returns node id's cache, rebuilding it if a mobility event
 // invalidated it. The steady-state path (valid cache) does no work beyond
 // the epoch comparison and allocates nothing.
@@ -137,15 +146,18 @@ func (f *Field) ensure(id packet.NodeID) *nodeCache {
 	if c.epoch >= f.nodeEpoch[id] {
 		return c
 	}
-	f.rebuildNode(id, c)
+	f.rebuildNode(id, c, &f.scratch)
 	return c
 }
 
 // rebuildNode recomputes every power level's neighbor list for one node by
-// scanning only the 3×3 bucket neighborhood: O(neighbors), not O(N).
-func (f *Field) rebuildNode(id packet.NodeID, c *nodeCache) {
+// scanning only the 3×3 bucket neighborhood: O(neighbors), not O(N). It
+// reads only frozen state (positions, buckets, ranges) plus the caller's
+// scratch, and writes only node id's own cache entry — the disjoint-write
+// shape that lets WarmAll run it from many workers at once.
+func (f *Field) rebuildNode(id packet.NodeID, c *nodeCache, ws *rebuildScratch) {
 	p := f.pos[id]
-	cands := f.scratch[:0]
+	cands := ws.cands[:0]
 	rmax2 := f.rangeSq[0]
 	f.index.visitNeighborhood(p, func(ids []packet.NodeID) {
 		for _, j := range ids {
@@ -158,12 +170,15 @@ func (f *Field) rebuildNode(id packet.NodeID, c *nodeCache) {
 		}
 	})
 	slices.SortFunc(cands, func(a, b candidate) int { return cmp.Compare(a.id, b.id) })
-	f.scratch = cands // keep the grown capacity for the next rebuild
+	ws.cands = cands // keep the grown capacity for the next rebuild
 
 	// Levels are nested (rangeSq is strictly decreasing), so one pass per
 	// level over the sorted candidates materializes each list in id order.
 	nl := len(f.rangeSq)
-	counts := f.countScratch
+	if ws.counts == nil {
+		ws.counts = make([]int, nl)
+	}
+	counts := ws.counts
 	total := 0
 	for l := 0; l < nl; l++ {
 		counts[l] = 0
@@ -193,6 +208,28 @@ func (f *Field) rebuildNode(id packet.NodeID, c *nodeCache) {
 		c.byLevel[l] = backing[start:len(backing):len(backing)]
 	}
 	c.epoch = f.epoch
+}
+
+// WarmAll rebuilds every invalid neighbor cache using up to workers
+// goroutines, partitioned into contiguous node ranges with per-worker
+// scratch. Cache contents are a pure function of positions (each node's
+// lists are rebuilt from frozen inputs and written only by its own range's
+// worker), so a warmed field answers every query exactly as lazy rebuilds
+// would — WarmAll changes when the work happens, never what it produces.
+//
+// Call it before read-only parallel passes over the field (graph building,
+// parallel route derivation): once every cache is valid, ZoneNeighbors /
+// ReachedBy / Contenders touch no shared mutable state.
+func (f *Field) WarmAll(workers int) {
+	zone.For(workers, len(f.pos), func(_, lo, hi int) {
+		var ws rebuildScratch
+		for i := lo; i < hi; i++ {
+			c := &f.cache[i]
+			if c.epoch < f.nodeEpoch[i] {
+				f.rebuildNode(packet.NodeID(i), c, &ws)
+			}
+		}
+	})
 }
 
 // invalidateAround stamps every node within max radio range of p with the

@@ -1,0 +1,152 @@
+package topo
+
+// Scale regression tests for the spatial index: neighbor-query cost must
+// stay proportional to actual zone degree — not field size — from 10³ to
+// 10⁵ nodes, and WarmAll's parallel cache rebuild must be observationally
+// identical to the lazy path. Both are deterministic (fixed seeds, no
+// timing): the cost test counts scanned bucket entries, not wall clock.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// uniformAtDensity builds an n-node uniform field whose area scales with n,
+// so the expected zone degree is the same at every n. maxRange fixes the
+// radio; density is nodes per square meter.
+func uniformAtDensity(t *testing.T, n int, maxRange, density float64, seed int64) *Field {
+	t.Helper()
+	side := math.Sqrt(float64(n) / density)
+	f, err := NewUniformField(n, geom.Rect{Max: geom.Point{X: side, Y: side}}, scaled(t, maxRange), sim.NewRNG(seed))
+	if err != nil {
+		t.Fatalf("NewUniformField(n=%d): %v", n, err)
+	}
+	return f
+}
+
+// scanCost returns, for node id, how many bucket entries a neighbor-cache
+// rebuild scans (the 3×3 cell neighborhood population) and how many nodes
+// are actually within max radio range — the work done vs the work needed.
+func scanCost(f *Field, id packet.NodeID) (scanned, reach int) {
+	f.index.visitNeighborhood(f.pos[id], func(ids []packet.NodeID) { scanned += len(ids) })
+	return scanned, len(f.ensure(id).byLevel[0])
+}
+
+// TestNeighborQueryCostStaysFlat is the regression test for the fixed
+// 64-cells-per-axis cap: at constant node density the mean ratio of scanned
+// candidates to true neighbors must stay bounded as the field grows from
+// 10³ to 10⁵ nodes. Under the old cap, cells outgrow the radio range once
+// the field side exceeds 64·maxRange and the ratio climbs with N (each
+// query scans O(N/64²) nodes); with the density-derived cap it stays flat.
+func TestNeighborQueryCostStaysFlat(t *testing.T) {
+	const (
+		maxRange = 10.0
+		density  = 0.04 // ~12.6 expected nodes within max range
+		samples  = 200
+	)
+	ratio := make(map[int]float64)
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		f := uniformAtDensity(t, n, maxRange, density, 0xbeef)
+		var scanned, reach int
+		for s := 0; s < samples; s++ {
+			id := packet.NodeID(s * (n / samples))
+			sc, re := scanCost(f, id)
+			scanned += sc
+			reach += re
+		}
+		if reach == 0 {
+			t.Fatalf("n=%d: no neighbors in any sample — density setup broken", n)
+		}
+		r := float64(scanned) / float64(reach)
+		ratio[n] = r
+		// 3×3 cells of side maxRange hold ~9·π⁻¹·... ≈ 900/π·density·r²
+		// candidates for π·r²·density true neighbors: ratio ≈ 9/π ≈ 2.9 in
+		// the ideal geometry. 8 allows cell-quantization and edge effects.
+		if r > 8 {
+			t.Errorf("n=%d: scanned/reach = %.1f, want <= 8 (query cost not O(degree))", n, r)
+		}
+	}
+	// Flatness across two decades: 10⁵ may not cost more than 2× the 10³
+	// ratio. The old 64-cap index fails this by an order of magnitude.
+	if ratio[100_000] > 2*ratio[1_000] {
+		t.Fatalf("query cost grows with N: ratio(1e3)=%.1f ratio(1e5)=%.1f",
+			ratio[1_000], ratio[100_000])
+	}
+}
+
+// TestIndexCapBoundsBucketMemory pins the other half of the cap's contract:
+// total cell count stays O(N), not O(area/range²).
+func TestIndexCapBoundsBucketMemory(t *testing.T) {
+	for _, n := range []int{1_000, 100_000} {
+		f := uniformAtDensity(t, n, 10, 0.04, 7)
+		cells := f.index.grid.NumCells()
+		if max := 4*n + 64*64; cells > max {
+			t.Fatalf("n=%d: %d cells, want <= %d (bucket memory not O(N))", n, cells, max)
+		}
+	}
+}
+
+// TestWarmAllMatchesLazyRebuilds builds two identical fields, warms one
+// with a parallel WarmAll and leaves the other to lazy per-query rebuilds,
+// and requires every neighbor list at every power level to match — before
+// and after the same mobility events. This is the observational-equality
+// half of the §10 determinism contract: WarmAll changes when cache work
+// happens, never what it produces.
+func TestWarmAllMatchesLazyRebuilds(t *testing.T) {
+	old := runtime.GOMAXPROCS(4) // single-core runners must still fork workers
+	defer runtime.GOMAXPROCS(old)
+
+	build := func() *Field { return uniformAtDensity(t, 500, 10, 0.04, 42) }
+	warm, lazy := build(), build()
+
+	compare := func(stage string) {
+		t.Helper()
+		nl := warm.model.NumLevels()
+		for i := 0; i < warm.N(); i++ {
+			id := packet.NodeID(i)
+			for l := 1; l <= nl; l++ {
+				a := warm.ReachedBy(id, radio.Level(l))
+				b := lazy.ReachedBy(id, radio.Level(l))
+				if len(a) != len(b) {
+					t.Fatalf("%s: node %d level %d: warmed %d neighbors, lazy %d", stage, i, l, len(a), len(b))
+				}
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("%s: node %d level %d: neighbor[%d] warmed=%d lazy=%d", stage, i, l, k, a[k], b[k])
+					}
+				}
+			}
+		}
+	}
+
+	warm.WarmAll(4)
+	compare("initial")
+
+	// Same mobility on both fields, then warm one side again.
+	for i := 0; i < 50; i++ {
+		id := packet.NodeID(i * 7 % warm.N())
+		p := warm.Pos(id)
+		p.X += 15 // guaranteed cross-cell hop (> maxRange)
+		if p.X > warm.Bounds().Max.X {
+			p.X = warm.Bounds().Min.X + 1
+		}
+		warm.Move(id, p)
+		lazy.Move(id, p)
+	}
+	warm.WarmAll(4)
+	compare("after mobility")
+
+	// WarmAll must not disturb the mobility epoch: it rebuilds caches, it
+	// is not itself a mobility event.
+	before := warm.Epoch()
+	warm.WarmAll(4)
+	if warm.Epoch() != before {
+		t.Fatalf("WarmAll bumped epoch %d -> %d", before, warm.Epoch())
+	}
+}

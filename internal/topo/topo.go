@@ -35,8 +35,7 @@ type Field struct {
 	epoch     uint64   // mobility event counter, starts at 1
 	nodeEpoch []uint64 // last epoch node i's neighborhood changed
 
-	scratch      []candidate // rebuild workspace, reused across rebuilds
-	countScratch []int       // per-level counts, len == NumLevels
+	scratch rebuildScratch // lazy-rebuild workspace, reused across rebuilds
 }
 
 // newField wires the spatial index and empty caches over freshly placed
@@ -44,15 +43,15 @@ type Field struct {
 // queries build lazily through the index.
 func newField(m *radio.Model, pos []geom.Point, bounds geom.Rect) *Field {
 	f := &Field{
-		model:        m,
-		pos:          pos,
-		bounds:       bounds,
-		rangeSq:      make([]float64, m.NumLevels()),
-		cache:        make([]nodeCache, len(pos)),
-		epoch:        1,
-		nodeEpoch:    make([]uint64, len(pos)),
-		countScratch: make([]int, m.NumLevels()),
+		model:     m,
+		pos:       pos,
+		bounds:    bounds,
+		rangeSq:   make([]float64, m.NumLevels()),
+		cache:     make([]nodeCache, len(pos)),
+		epoch:     1,
+		nodeEpoch: make([]uint64, len(pos)),
 	}
+	f.scratch.counts = make([]int, m.NumLevels())
 	for l := range f.rangeSq {
 		r := m.RangeM(radio.Level(l + 1))
 		f.rangeSq[l] = r * r

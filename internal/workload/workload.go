@@ -60,8 +60,22 @@ type Generator struct {
 // AllToAll builds the §5.1 workload for n nodes: packetsPerNode items per
 // node, per-node Poisson arrivals with the given mean inter-arrival time.
 func AllToAll(n, packetsPerNode int, meanArrival time.Duration, rng *sim.RNG) (*Generator, error) {
+	return AllToAllSources(n, 0, packetsPerNode, meanArrival, rng)
+}
+
+// AllToAllSources is AllToAll with origination restricted to the first
+// sources nodes (ids 0..sources-1); every node remains interested in every
+// item. sources == 0 means all nodes originate — the paper's workload — and
+// draws the exact variate sequence AllToAll always has. Limiting sources
+// decouples traffic volume from field size, which is what makes 10⁵-node
+// fields simulable: items scale with sources, not with N.
+func AllToAllSources(n, sources, packetsPerNode int, meanArrival time.Duration, rng *sim.RNG) (*Generator, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: non-positive node count %d", n)
+	}
+	srcCount, err := checkSources(sources, n)
+	if err != nil {
+		return nil, err
 	}
 	if packetsPerNode <= 0 {
 		return nil, fmt.Errorf("workload: non-positive packets per node %d", packetsPerNode)
@@ -73,7 +87,7 @@ func AllToAll(n, packetsPerNode int, meanArrival time.Duration, rng *sim.RNG) (*
 		return nil, fmt.Errorf("workload: nil rng")
 	}
 	g := &Generator{n: n}
-	for node := 0; node < n; node++ {
+	for node := 0; node < srcCount; node++ {
 		var t time.Duration
 		for seq := 0; seq < packetsPerNode; seq++ {
 			t += rng.ExpDuration(meanArrival)
@@ -87,13 +101,37 @@ func AllToAll(n, packetsPerNode int, meanArrival time.Duration, rng *sim.RNG) (*
 	return g, nil
 }
 
+// checkSources normalizes a source-node count against the field size:
+// 0 means every node originates.
+func checkSources(sources, n int) (int, error) {
+	if sources < 0 || sources > n {
+		return 0, fmt.Errorf("workload: source count %d outside [0,%d]", sources, n)
+	}
+	if sources == 0 {
+		return n, nil
+	}
+	return sources, nil
+}
+
 // Clustered builds the §5.2 workload over a concrete field: one cluster
 // head per cell of side equal to the zone radius; for every data item the
 // interested set is the origin's cluster head plus each zone neighbor of
 // the origin independently with probability prob.
 func Clustered(f *topo.Field, packetsPerNode int, meanArrival time.Duration, prob float64, rng *sim.RNG) (*Generator, error) {
+	return ClusteredSources(f, 0, packetsPerNode, meanArrival, prob, rng)
+}
+
+// ClusteredSources is Clustered with origination restricted to the first
+// sources nodes (ids 0..sources-1); interest sets are drawn exactly as in
+// Clustered for the items that exist. sources == 0 means all nodes
+// originate, reproducing Clustered's historical variate sequence.
+func ClusteredSources(f *topo.Field, sources, packetsPerNode int, meanArrival time.Duration, prob float64, rng *sim.RNG) (*Generator, error) {
 	if f == nil {
 		return nil, fmt.Errorf("workload: nil field")
+	}
+	srcCount, err := checkSources(sources, f.N())
+	if err != nil {
+		return nil, err
 	}
 	if packetsPerNode <= 0 {
 		return nil, fmt.Errorf("workload: non-positive packets per node %d", packetsPerNode)
@@ -112,7 +150,7 @@ func Clustered(f *topo.Field, packetsPerNode int, meanArrival time.Duration, pro
 		n:        f.N(),
 		interest: make(map[packet.DataID]map[packet.NodeID]bool),
 	}
-	for node := 0; node < f.N(); node++ {
+	for node := 0; node < srcCount; node++ {
 		id := packet.NodeID(node)
 		var t time.Duration
 		for seq := 0; seq < packetsPerNode; seq++ {

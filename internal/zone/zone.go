@@ -1,0 +1,86 @@
+// Package zone is the deterministic intra-simulation parallelism substrate:
+// a fork-join parallel-for over contiguous index ranges ("zones") of a
+// shared array. It exists so the simulation's data-parallel kernels —
+// neighbor-cache warmup, DBF rounds, route derivation, graph building — can
+// use every core while preserving the repository's byte-identical-output
+// contract (DESIGN.md §10).
+//
+// The determinism argument is structural, not scheduling-based: a kernel
+// run under For must write only to slots of its own index range (disjoint
+// writes) and read only state that no worker writes (frozen inputs, or
+// double-buffered previous-generation state). Under that contract the
+// result of For is the same for every worker count, including 1, because
+// each slot's value is a pure function of frozen inputs — the workers
+// merely race to finish, never to write. Cross-zone reductions (float
+// sums, counters) stay with the caller, in index order, after For returns.
+//
+// The event kernel itself (internal/sim) remains single-threaded: handlers
+// mutate shared protocol state and draw from one RNG stream, so their order
+// is the output. Parallelism lives in the side computations between events,
+// which is where the cycles are at scale.
+package zone
+
+import (
+	"sync"
+)
+
+// MaxWorkers bounds a single For call's goroutine count; a backstop against
+// nonsense inputs, far above any useful parallelism.
+const MaxWorkers = 256
+
+// Workers normalizes a requested worker count: values below 1 mean 1
+// (serial); values above MaxWorkers are capped. The count is deliberately
+// NOT clamped to the core count: the kernels run identically (and the
+// determinism suite verifies output at worker counts above GOMAXPROCS),
+// so oversubscription costs only scheduling overhead — and clamping would
+// silently serialize on small machines, hiding concurrency bugs from the
+// race detector.
+func Workers(requested int) int {
+	if requested < 1 {
+		return 1
+	}
+	if requested > MaxWorkers {
+		return MaxWorkers
+	}
+	return requested
+}
+
+// For partitions [0, n) into one contiguous range per worker and runs
+// fn(worker, lo, hi) concurrently on each. fn must honor the disjoint-write
+// contract above; the worker index selects per-worker scratch state. With
+// workers <= 1 (or n smaller than a useful split) fn runs inline on the
+// caller's goroutine — the serial path has zero synchronization cost.
+//
+// Ranges are split evenly (sizes differ by at most one, earlier ranges
+// larger), so the partition — and therefore which worker computes which
+// slot — is a pure function of (n, workers). For returns after every
+// worker finishes: the caller observes a full barrier.
+func For(workers, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

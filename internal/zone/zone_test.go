@@ -1,0 +1,97 @@
+package zone
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	if got := Workers(0); got != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", got)
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(MaxWorkers + 100); got != MaxWorkers {
+		t.Fatalf("Workers(MaxWorkers+100) = %d, want %d", got, MaxWorkers)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", got)
+	}
+	// Worker counts above the core count pass through unclamped: concurrency
+	// (and with it the determinism contract) must be exercisable on any
+	// machine, including single-core CI runners.
+	if over := runtime.GOMAXPROCS(0) + 3; Workers(over) != over {
+		t.Fatalf("Workers(%d) = %d, want %d (no GOMAXPROCS clamp)", over, Workers(over), over)
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 10}, {2, 10}, {3, 10}, {4, 7}, {7, 4}, {4, 100}, {2, 1},
+	} {
+		counts := make([]int32, tc.n)
+		For(tc.workers, tc.n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d n=%d: index %d visited %d times", tc.workers, tc.n, i, c)
+			}
+		}
+	}
+}
+
+func TestForPartitionIsDeterministic(t *testing.T) {
+	// The partition must be a pure function of (n, workers): even sizes,
+	// earlier ranges larger, contiguous, ascending worker index.
+	type r struct{ w, lo, hi int }
+	collect := func() []r {
+		var mu [16]r // worker index is the slot; no locking needed
+		For(4, 10, func(w, lo, hi int) { mu[w] = r{w, lo, hi} })
+		return mu[:4]
+	}
+	a, b := collect(), collect()
+	want := []r{{0, 0, 3}, {1, 3, 6}, {2, 6, 8}, {3, 8, 10}}
+	for i := range want {
+		if a[i] != want[i] || b[i] != want[i] {
+			t.Fatalf("partition run1=%v run2=%v, want %v", a, b, want)
+		}
+	}
+}
+
+func TestForSerialRunsInline(t *testing.T) {
+	// workers==1 must execute on the calling goroutine (no synchronization),
+	// observable as strictly sequential side effects without atomics.
+	sum := 0
+	For(1, 100, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if sum != 4950 {
+		t.Fatalf("serial sum = %d, want 4950", sum)
+	}
+}
+
+func TestForEmptyAndSmall(t *testing.T) {
+	called := false
+	For(4, 0, func(_, _, _ int) { called = true })
+	if called {
+		t.Fatal("For with n=0 invoked the body")
+	}
+	// n < workers: at most n workers, each with a single index.
+	var total int32
+	For(8, 3, func(_, lo, hi int) {
+		if hi-lo != 1 {
+			t.Errorf("range [%d,%d) not a single index", lo, hi)
+		}
+		atomic.AddInt32(&total, int32(hi-lo))
+	})
+	if total != 3 {
+		t.Fatalf("covered %d indices, want 3", total)
+	}
+}
