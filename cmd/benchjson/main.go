@@ -85,13 +85,22 @@ type SimTiming struct {
 	BaselineSpeedup float64 `json:"baselineSpeedup,omitempty"`
 }
 
+// HostInfo identifies the machine and toolchain a report was produced on,
+// so numbers from different hosts are never compared as if they were the
+// same baseline. GOMAXPROCS is recorded separately from NumCPU because CI
+// runners routinely cap it below the physical core count.
+type HostInfo struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCPU"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
 // Report is the BENCH_<date>.json document.
 type Report struct {
 	Date       string           `json:"date"`
-	GoVersion  string           `json:"goVersion"`
-	GOOS       string           `json:"goos"`
-	GOARCH     string           `json:"goarch"`
-	CPUs       int              `json:"cpus"`
+	Host       HostInfo         `json:"hostInfo"`
 	BenchRegex string           `json:"benchRegex"`
 	Benchmarks []Benchmark      `json:"benchmarks"`
 	Sims       []SimTiming      `json:"sims,omitempty"`
@@ -115,11 +124,14 @@ func main() {
 		*out = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
 	}
 	report := Report{
-		Date:       time.Now().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		CPUs:       runtime.NumCPU(),
+		Date: time.Now().Format(time.RFC3339),
+		Host: HostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
 		BenchRegex: *benchRE,
 		Benchmarks: []Benchmark{},
 	}

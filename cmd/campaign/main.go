@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate]
+//	campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate] [-progress] [-debug-addr ADDR]
 //	campaign expand <spec.json>
 //	campaign validate <spec.json>
 //
@@ -17,6 +17,12 @@
 // emit aggregate records (mean/std/CI per metric across seed-derived
 // trials), and -per-replicate additionally streams every trial's own
 // JSONL record.
+//
+// Live telemetry (internal/obs): -progress prints a heartbeat line to
+// stderr every second (points done/total, completion rate, ETA, in-flight
+// point indices), and -debug-addr starts an HTTP debug endpoint serving
+// /debug/progress (JSON snapshot), /debug/vars (expvar), and /debug/pprof.
+// Neither affects the result stream: sink output stays byte-identical.
 //
 // Examples:
 //
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,7 +49,7 @@ func main() {
 
 func usage() int {
 	fmt.Fprintf(os.Stderr, `usage:
-  campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate]
+  campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate] [-progress] [-debug-addr ADDR]
   campaign expand <spec.json>
   campaign validate <spec.json>
 `)
@@ -94,6 +101,8 @@ func runCampaign(specPath string, args []string) int {
 	replications := fs.Int("replications", 0, "override the spec's replication count (0 = use the spec's)")
 	perReplicate := fs.Bool("per-replicate", false, "also emit each replicate's own JSONL record, not just the aggregate")
 	simWorkers := fs.Int("sim-workers", 0, "goroutines for the data-parallel kernels inside each simulation (0/1 = serial; output is identical at any value)")
+	progressFlag := fs.Bool("progress", false, "print a live heartbeat to stderr every second: points done/total, rate, ETA, in-flight points")
+	debugAddr := fs.String("debug-addr", "", `serve a debug/ops HTTP endpoint on this address (e.g. ":6060"): /debug/progress, /debug/vars (expvar), /debug/pprof`)
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	fs.Parse(args)
@@ -108,6 +117,27 @@ func runCampaign(specPath string, args []string) int {
 	c, code := load(specPath, *replications)
 	if code != 0 {
 		return code
+	}
+
+	// Live telemetry: the tracker exists whenever either consumer (the
+	// heartbeat or the debug endpoint) wants it; neither affects sink
+	// output in any way.
+	var progress *obs.CampaignProgress
+	if *progressFlag || *debugAddr != "" {
+		progress = obs.NewCampaignProgress(c.Spec.Name, len(c.Points))
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "campaign: debug endpoint on http://%s/debug/progress (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	stopHeartbeat := func() {}
+	if *progressFlag {
+		stopHeartbeat = progress.Heartbeat(os.Stderr, time.Second)
 	}
 
 	if *csvPath == "-" && *jsonlPath == "-" {
@@ -158,7 +188,8 @@ func runCampaign(specPath string, args []string) int {
 	}
 
 	start := time.Now()
-	_, err = c.Run(campaign.RunOptions{Workers: *parallel, Sinks: sinks, SimWorkers: *simWorkers})
+	_, err = c.Run(campaign.RunOptions{Workers: *parallel, Sinks: sinks, SimWorkers: *simWorkers, Progress: progress})
+	stopHeartbeat()
 	for _, cl := range closers {
 		if cerr := cl.Close(); err == nil && cerr != nil {
 			err = cerr

@@ -22,6 +22,15 @@
 // deterministically from -seed, executed on the parallel sweep pool, and
 // prints mean / std / 95% CI / min / max per metric instead of the
 // single-run report.
+//
+// Single runs can additionally stream observability artifacts
+// (internal/obs, DESIGN.md §11) without perturbing the metrics: -trace
+// writes one JSONL line per packet event (byte-identical at every
+// -sim-workers value), -timeline samples the live counters every
+// -timeline-interval of simulated time into a bounded JSONL series, and
+// -run-stats reports phase timings plus event-kernel statistics as JSON
+// ("-" writes to stderr). These flags apply to exactly one run and are
+// rejected when -replications > 1.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -73,6 +83,10 @@ func run() int {
 		replications = flag.Int("replications", 1, "independent seed-derived trials; above 1 prints mean ± 95% CI per metric")
 		parallel     = flag.Int("parallel", 0, "replicate worker pool size (0 = all cores, 1 = serial)")
 		simWorkers   = flag.Int("sim-workers", 0, "goroutines for the data-parallel kernels inside one simulation (0/1 = serial; output is identical at any value)")
+		tracePath    = flag.String("trace", "", "write a structured packet-event trace (JSONL, one line per tx/deliver/drop) to this file")
+		timelinePath = flag.String("timeline", "", "write a sim-time metrics timeline (JSONL, one sample per interval) to this file")
+		timelineIntv = flag.Duration("timeline-interval", 50*time.Millisecond, "simulated time between -timeline samples")
+		runStatsPath = flag.String("run-stats", "", `write phase timings and event-kernel stats as JSON to this file ("-" = stderr)`)
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -221,17 +235,52 @@ func run() int {
 	// is idempotent).
 	sc = sc.WithDefaults()
 
+	obsWanted := *tracePath != "" || *timelinePath != "" || *runStatsPath != ""
 	if experiment.Replications(sc) > 1 {
+		if obsWanted {
+			fmt.Fprintln(os.Stderr, "spmsim: -trace/-timeline/-run-stats describe a single run and cannot be combined with -replications > 1")
+			return 2
+		}
 		return runReplicated(sc, *parallel, *simWorkers)
 	}
 
+	// Observability is an execution knob: the observer watches the run but
+	// never changes Result (DESIGN.md §11), so it attaches unconditionally
+	// to the same RunWith call.
+	var o *obs.RunObserver
+	var traceFile *os.File
+	if obsWanted {
+		o = &obs.RunObserver{}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+				return 1
+			}
+			traceFile = f
+			o.Trace = obs.NewTraceSink(f)
+		}
+		if *timelinePath != "" {
+			tl, err := obs.NewTimeline(*timelineIntv, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
+				return 2
+			}
+			o.Timeline = tl
+		}
+	}
+
 	start := time.Now()
-	res, err := experiment.RunWith(sc, experiment.RunConfig{SimWorkers: *simWorkers})
+	res, err := experiment.RunWith(sc, experiment.RunConfig{SimWorkers: *simWorkers, Obs: o})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spmsim: %v\n", err)
 		return 1
 	}
 	wall := time.Since(start).Round(time.Millisecond)
+
+	if code := writeObsOutputs(o, traceFile, *tracePath, *timelinePath, *runStatsPath); code != 0 {
+		return code
+	}
 
 	fmt.Printf("scenario: %s %s nodes=%d radius=%.1fm packets/node=%d failures=%v mobility=%v seed=%d\n",
 		sc.Protocol, sc.Workload, sc.Nodes, sc.ZoneRadius, sc.PacketsPerNode, sc.Failures, sc.Mobility, sc.Seed)
@@ -249,6 +298,54 @@ func run() int {
 	if sc.Protocol == experiment.SPMS {
 		fmt.Printf("routing:   DBF rounds=%d vector-broadcasts=%d mobility-events=%d\n",
 			res.DBFRounds, res.DBFBroadcasts, res.MobilityEvents)
+	}
+	return 0
+}
+
+// writeObsOutputs flushes the observability artifacts a finished run
+// produced: the streaming trace file, the timeline JSONL, and the run-stats
+// JSON. Returns a non-zero exit code on any I/O failure.
+func writeObsOutputs(o *obs.RunObserver, traceFile *os.File, tracePath, timelinePath, runStatsPath string) int {
+	if o == nil {
+		return 0
+	}
+	if traceFile != nil {
+		err := o.Trace.Flush()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: trace %s: %v\n", tracePath, err)
+			return 1
+		}
+	}
+	if timelinePath != "" {
+		f, err := os.Create(timelinePath)
+		if err == nil {
+			err = o.Timeline.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: timeline %s: %v\n", timelinePath, err)
+			return 1
+		}
+	}
+	if runStatsPath != "" {
+		data, err := json.MarshalIndent(o.Stats(), "", "  ")
+		if err == nil {
+			data = append(data, '\n')
+			if runStatsPath == "-" {
+				_, err = os.Stderr.Write(data)
+			} else {
+				err = os.WriteFile(runStatsPath, data, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmsim: run-stats: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

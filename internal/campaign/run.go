@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // RunOptions configures campaign execution.
@@ -35,6 +36,12 @@ type RunOptions struct {
 	// value. Ignored when Run is set. Note the two axes multiply — Workers
 	// simulations each running SimWorkers kernel goroutines.
 	SimWorkers int
+	// Progress, when non-nil, receives live point-level telemetry: a start
+	// per claimed trial and a completion per finished point (completion
+	// here means simulated, which can run ahead of the ordered sink
+	// flush). It feeds the -progress heartbeat and the /debug/progress
+	// endpoint; like SimWorkers it never affects sink output.
+	Progress *obs.CampaignProgress
 }
 
 // Run executes every trial and returns the per-point replicate vectors in
@@ -68,6 +75,7 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	pending := make(map[int][]experiment.Result)
 	next := 0
 	onPoint := func(i int, _ experiment.Scenario, reps []experiment.Result) error {
+		opts.Progress.PointDone(i)
 		pending[i] = reps
 		for {
 			rs, ok := pending[next]
@@ -98,10 +106,15 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 		}
 	}
 
+	var onStart func(int)
+	if opts.Progress != nil {
+		onStart = opts.Progress.PointStarted
+	}
 	results, err := experiment.ReplicatedSweep{
 		Points:  scenarios,
 		Run:     runFn,
 		Workers: opts.Workers,
+		OnStart: onStart,
 		OnPoint: onPoint,
 	}.Execute()
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -475,5 +476,70 @@ func TestCampaignReplicatedParallelDeterminism(t *testing.T) {
 	m := rec.Metrics["energyPerPacket_uJ"]
 	if rec.Replications != 5 || m.N != 5 || m.Mean <= 0 || m.Std <= 0 || m.CI95 <= 0 {
 		t.Fatalf("real-run statistics not populated: %+v", rec)
+	}
+}
+
+// TestRunProgressTracking wires a CampaignProgress through RunOptions and
+// checks the telemetry a finished campaign reports: every point done, none
+// still running, and at least one trial started per point — while the sink
+// stream stays byte-identical to an untracked run.
+func TestRunProgressTracking(t *testing.T) {
+	c, err := Expand(gridSpec(t))
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var plain bytes.Buffer
+	if _, err := c.Run(RunOptions{Workers: 4, Run: stubRun, Sinks: []Sink{NewJSONLSink(&plain)}}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	progress := obs.NewCampaignProgress(c.Spec.Name, len(c.Points))
+	var tracked bytes.Buffer
+	if _, err := c.Run(RunOptions{
+		Workers:  4,
+		Run:      stubRun,
+		Sinks:    []Sink{NewJSONLSink(&tracked)},
+		Progress: progress,
+	}); err != nil {
+		t.Fatalf("Run with progress: %v", err)
+	}
+
+	s := progress.Snapshot()
+	if s.Done != len(c.Points) {
+		t.Fatalf("done = %d, want %d", s.Done, len(c.Points))
+	}
+	if len(s.Running) != 0 {
+		t.Fatalf("running after completion: %v", s.Running)
+	}
+	if s.TrialsStarted < len(c.Points) {
+		t.Fatalf("trialsStarted = %d, want >= %d", s.TrialsStarted, len(c.Points))
+	}
+	if s.Percent != 100 {
+		t.Fatalf("percent = %v, want 100", s.Percent)
+	}
+	if !bytes.Equal(plain.Bytes(), tracked.Bytes()) {
+		t.Fatal("progress tracking changed the sink stream")
+	}
+}
+
+// TestRunProgressReplicated checks the replicated path: trials exceed
+// points (one start per replicate) and completion still means every point.
+func TestRunProgressReplicated(t *testing.T) {
+	spec := gridSpec(t)
+	spec.Replications = 3
+	c, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	progress := obs.NewCampaignProgress(c.Spec.Name, len(c.Points))
+	if _, err := c.Run(RunOptions{Workers: 4, Run: stubRun, Progress: progress}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := progress.Snapshot()
+	if s.Done != len(c.Points) || len(s.Running) != 0 {
+		t.Fatalf("after replicated run: %+v", s)
+	}
+	if want := 3 * len(c.Points); s.TrialsStarted != want {
+		t.Fatalf("trialsStarted = %d, want %d (one per replicate)", s.TrialsStarted, want)
 	}
 }

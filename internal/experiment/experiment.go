@@ -18,6 +18,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/radio"
 	"repro/internal/routing"
@@ -443,6 +444,13 @@ type RunConfig struct {
 	// loop itself is always single-threaded (DESIGN.md §5.1); results are
 	// byte-identical at every worker count (DESIGN.md §10).
 	SimWorkers int
+
+	// Obs attaches run-lifecycle observability: phase timing and kernel
+	// stats always, plus timeline sampling and trace export when the
+	// observer carries those sinks. Nil observes nothing. Like SimWorkers
+	// it is an execution knob, not scenario identity: the Result is
+	// byte-identical with observability on or off (DESIGN.md §11).
+	Obs *obs.RunObserver
 }
 
 // Run executes the scenario to completion and collects metrics.
@@ -457,6 +465,8 @@ func RunWith(sc Scenario, cfg RunConfig) (Result, error) {
 		return Result{}, err
 	}
 	workers := zone.Workers(cfg.SimWorkers)
+	o := cfg.Obs
+	o.BeginRun()
 
 	model, err := radio.ScaledMICA2(sc.ZoneRadius)
 	if err != nil {
@@ -474,6 +484,7 @@ func RunWith(sc Scenario, cfg RunConfig) (Result, error) {
 	mobRNG := root.Fork()
 	placeRNG := root.Fork()
 
+	topoSpan := o.StartPhase(obs.PhaseTopology)
 	field, err := buildField(sc, model, placeRNG)
 	if err != nil {
 		return Result{}, err
@@ -483,6 +494,7 @@ func RunWith(sc Scenario, cfg RunConfig) (Result, error) {
 		// a pure function of positions, so this only moves work earlier.
 		field.WarmAll(workers)
 	}
+	topoSpan.End()
 
 	nw, err := network.New(sched, field, netRNG, network.Config{
 		Sizes:        packet.DefaultSizes(),
@@ -491,6 +503,9 @@ func RunWith(sc Scenario, cfg RunConfig) (Result, error) {
 	})
 	if err != nil {
 		return Result{}, err
+	}
+	if o != nil && o.Trace != nil {
+		installTrace(nw, sched, o.Trace)
 	}
 	ledger := dissem.NewLedger()
 
@@ -512,7 +527,9 @@ func RunWith(sc Scenario, cfg RunConfig) (Result, error) {
 	)
 	switch sc.Protocol {
 	case SPMS:
+		routeSpan := o.StartPhase(obs.PhaseRoutes)
 		tables = routing.ComputeWorkers(routing.BuildGraphWorkers(field, workers), sc.RouteAlternatives, workers)
+		routeSpan.End()
 		if sc.ChargeInitialDBF {
 			routing.ChargeConvergenceEnergy(tables, field, nw.Sizes(), nw.Energy())
 		}
@@ -557,15 +574,22 @@ func RunWith(sc Scenario, cfg RunConfig) (Result, error) {
 		if activeEnd > horizon {
 			activeEnd = horizon
 		}
-		if err := scheduleMobility(&res, sc, sched, field, mobRNG, nw, spms, activeEnd, workers); err != nil {
+		if err := scheduleMobility(&res, sc, sched, field, mobRNG, nw, spms, activeEnd, workers, o); err != nil {
 			return Result{}, err
 		}
 	}
+	if o != nil && o.Timeline != nil {
+		scheduleTimeline(sched, nw, o.Timeline, horizon)
+	}
 
 	gen.Schedule(sched, proto)
+	eventSpan := o.StartPhase(obs.PhaseEvents)
 	if err := sched.Run(horizon); err != nil {
 		return Result{}, err
 	}
+	eventSpan.End()
+	o.RecordKernel(sched.Dispatched(), sched.PeakHeapDepth(), sched.ArenaSize())
+	o.EndRun()
 
 	fillResult(&res, gen, ledger, nw)
 	if injector != nil {
@@ -613,7 +637,8 @@ func placementBounds(sc Scenario) geom.Rect {
 // DESIGN.md) but its radio traffic is fully charged as control energy —
 // the §5.1.3 cost model, applied identically under both models.
 func scheduleMobility(res *Result, sc Scenario, sched *sim.Scheduler, field *topo.Field,
-	rng *sim.RNG, nw *network.Network, spms *core.System, horizon time.Duration, workers int) error {
+	rng *sim.RNG, nw *network.Network, spms *core.System, horizon time.Duration, workers int,
+	o *obs.RunObserver) error {
 	step := func() { field.RelocateFraction(sc.MobilityFraction, rng) }
 	if sc.MobilityModel == MobWaypoint {
 		wp, err := topo.NewWaypoint(field, topo.WaypointConfig{
@@ -635,7 +660,9 @@ func scheduleMobility(res *Result, sc Scenario, sched *sim.Scheduler, field *top
 		step()
 		res.MobilityEvents++
 		if spms != nil {
+			span := o.StartPhase(obs.PhaseRoutes)
 			fresh := routing.ComputeWorkers(routing.BuildGraphWorkers(field, workers), sc.RouteAlternatives, workers)
+			span.End()
 			spms.SetTables(fresh)
 			routing.ChargeConvergenceEnergy(fresh, field, nw.Sizes(), nw.Energy())
 		}

@@ -63,6 +63,12 @@ type ReplicatedSweep struct {
 	// arrive out of point order when Workers > 1; a non-nil return aborts
 	// the sweep with Sweep.OnPoint's abort semantics.
 	OnPoint func(index int, sc Scenario, reps []Result) error
+
+	// OnStart, when non-nil, is invoked as a worker claims a trial of the
+	// given point — once per replicate, so a replicated point reports a
+	// start per trial. Sweep.OnStart's concurrency caveats apply: calls
+	// are concurrent and must be cheap and safe.
+	OnStart func(point int)
 }
 
 // Execute runs every trial through the pool and returns the per-point
@@ -92,10 +98,15 @@ func (s ReplicatedSweep) Execute() ([][]Result, error) {
 	// Sweep serializes OnPoint invocations, so the reassembly state below
 	// needs no lock; wg.Wait in Execute orders the final reads after every
 	// callback write.
+	var onStart func(int)
+	if s.OnStart != nil {
+		onStart = func(t int) { s.OnStart(refs[t].point) }
+	}
 	inner := Sweep{
 		Points:  trials,
 		Run:     s.Run,
 		Workers: s.Workers,
+		OnStart: onStart,
 		OnPoint: func(t int, _ Scenario, res Result) error {
 			ref := refs[t]
 			out[ref.point][ref.rep] = res

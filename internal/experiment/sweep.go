@@ -35,6 +35,13 @@ type Sweep struct {
 	// (a point's own error takes precedence if both occur). After any
 	// failure, remaining completions are best-effort.
 	OnPoint func(index int, sc Scenario, res Result) error
+
+	// OnStart, when non-nil, is invoked as a worker claims point index,
+	// before running it — the live-progress hook (which points are in
+	// flight right now). Unlike OnPoint it is NOT serialized: workers call
+	// it concurrently, so it must be safe for concurrent use and should be
+	// cheap. It cannot abort the sweep.
+	OnStart func(index int)
 }
 
 // Execute runs every point through the worker pool and returns results in
@@ -57,6 +64,9 @@ func (s Sweep) Execute() ([]Result, error) {
 
 	if workers <= 1 {
 		for i, p := range s.Points {
+			if s.OnStart != nil {
+				s.OnStart(i)
+			}
 			r, err := run(p)
 			if err != nil {
 				return nil, fmt.Errorf("sweep point %d (%v): %w", i, p.Protocol, err)
@@ -89,6 +99,9 @@ func (s Sweep) Execute() ([]Result, error) {
 				i := int(next.Add(1)) - 1
 				if i >= len(s.Points) {
 					return
+				}
+				if s.OnStart != nil {
+					s.OnStart(i)
 				}
 				r, err := run(s.Points[i])
 				if err != nil {

@@ -105,6 +105,15 @@ type DelayStats struct {
 	sum     time.Duration
 	min     time.Duration
 	max     time.Duration
+
+	// sorted caches the sorted copy Percentile ranks into; dirty marks it
+	// stale. Percentile is called once per delay metric per sweep point
+	// (mean/p95/max aggregation paths), so re-sorting the full sample set
+	// on every call was an O(n log n) tax paid several times per point —
+	// now paid once per Record burst. The backing array is reused across
+	// invalidations.
+	sorted []time.Duration
+	dirty  bool
 }
 
 // NewDelayStats returns an empty sample set.
@@ -124,6 +133,7 @@ func (d *DelayStats) Record(delay time.Duration) {
 	}
 	d.samples = append(d.samples, delay)
 	d.sum += delay
+	d.dirty = true
 }
 
 // Count returns the number of samples.
@@ -153,8 +163,10 @@ func (d *DelayStats) Max() time.Duration {
 	return d.max
 }
 
-// Percentile returns the p-th percentile (0 < p ≤ 100) by nearest-rank on a
-// sorted copy, or 0 with no samples.
+// Percentile returns the p-th percentile (0 < p ≤ 100) by nearest-rank on
+// a sorted copy, or 0 with no samples. The sorted copy is cached and
+// invalidated by Record, so repeated percentile queries between recordings
+// sort at most once.
 func (d *DelayStats) Percentile(p float64) time.Duration {
 	if len(d.samples) == 0 || p <= 0 {
 		return 0
@@ -162,14 +174,16 @@ func (d *DelayStats) Percentile(p float64) time.Duration {
 	if p > 100 {
 		p = 100
 	}
-	sorted := make([]time.Duration, len(d.samples))
-	copy(sorted, d.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if d.dirty || len(d.sorted) != len(d.samples) {
+		d.sorted = append(d.sorted[:0], d.samples...)
+		sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+		d.dirty = false
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(d.sorted))))
 	if rank < 1 {
 		rank = 1
 	}
-	return sorted[rank-1]
+	return d.sorted[rank-1]
 }
 
 // Counters tallies protocol events. Tests assert on these to verify the

@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -166,5 +169,70 @@ func TestCounters(t *testing.T) {
 	c.Failovers++
 	if c.Delivered != 1 || c.Failovers != 1 {
 		t.Fatal("manual counters broken")
+	}
+}
+
+// naivePercentile is the pre-cache implementation: sort a fresh copy on
+// every call. The cached Percentile must agree with it across interleaved
+// Record/query sequences — the regression test for the sort-once cache.
+func naivePercentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestDelayStatsPercentileCacheInvalidation(t *testing.T) {
+	d := NewDelayStats()
+	rng := rand.New(rand.NewSource(42))
+	var raw []time.Duration
+	ps := []float64{1, 25, 50, 90, 95, 99, 100}
+	// Interleave recording bursts with repeated queries: every query after
+	// a Record must see the new sample, and repeated queries without an
+	// intervening Record must keep agreeing (the cached path).
+	for burst := 0; burst < 20; burst++ {
+		for i := 0; i < 1+rng.Intn(50); i++ {
+			v := time.Duration(rng.Intn(1_000_000)) * time.Microsecond
+			d.Record(v)
+			raw = append(raw, v)
+		}
+		for _, p := range ps {
+			want := naivePercentile(raw, p)
+			if got := d.Percentile(p); got != want {
+				t.Fatalf("burst %d: Percentile(%v) = %v, want %v (n=%d)", burst, p, got, want, len(raw))
+			}
+			if got := d.Percentile(p); got != want {
+				t.Fatalf("burst %d: cached re-query Percentile(%v) = %v, want %v", burst, p, got, want)
+			}
+		}
+	}
+}
+
+// TestDelayStatsPercentileSortsOnce pins the optimization itself: repeated
+// percentile queries without intervening records must not re-sort (0 allocs
+// after the first call builds the cache).
+func TestDelayStatsPercentileSortsOnce(t *testing.T) {
+	d := NewDelayStats()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		d.Record(time.Duration(rng.Intn(1_000_000)) * time.Microsecond)
+	}
+	d.Percentile(50) // build the cache
+	allocs := testing.AllocsPerRun(100, func() {
+		d.Percentile(95)
+		d.Percentile(99)
+		d.Percentile(50)
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Percentile allocated %.1f times per run, want 0", allocs)
 	}
 }

@@ -1,0 +1,82 @@
+// debug.go is the HTTP debug/ops surface: expvar live counters, campaign
+// progress JSON, and net/http/pprof, on an explicit mux bound to an
+// operator-chosen address. This is the first brick of the campaign
+// service direction (ROADMAP item 1): the long-running daemon will mount
+// its job API next to these endpoints.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// liveProgress is the tracker the process-wide "campaign" expvar reads.
+// expvar names are global and can be published only once, so the var
+// indirects through this pointer and each StartDebugServer call swaps in
+// its campaign's tracker.
+var liveProgress atomic.Pointer[CampaignProgress]
+
+func init() {
+	expvar.Publish("campaign", expvar.Func(func() any {
+		if p := liveProgress.Load(); p != nil {
+			return p.Snapshot()
+		}
+		return nil
+	}))
+}
+
+// DebugServer is a live debug/ops HTTP endpoint. Endpoints:
+//
+//	/debug/progress  campaign progress snapshot (JSON)
+//	/debug/vars      expvar (memstats, cmdline, campaign progress)
+//	/debug/pprof/    full net/http/pprof suite (profile, heap, trace, …)
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer binds addr (e.g. ":6060"; ":0" picks a free port) and
+// serves the debug endpoints in a background goroutine until Close.
+// progress may be nil: the endpoints still serve, reporting an empty
+// campaign.
+func StartDebugServer(addr string, progress *CampaignProgress) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+	liveProgress.Store(progress)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(progress.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	// net/http/pprof self-registers only on http.DefaultServeMux; an
+	// explicit mux mounts the handlers by hand.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "repro debug endpoint\n\n/debug/progress\n/debug/vars\n/debug/pprof/\n")
+	})
+
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,169 @@
+// timeline.go is the time-series sampler: a sim-time ticker (scheduled by
+// the experiment harness) offers one metrics snapshot per interval, and
+// the Timeline keeps them in a bounded buffer. When the buffer fills it
+// decimates — drops every other retained sample and doubles its stride —
+// so an arbitrarily long run always exports at most MaxSamples points,
+// uniformly spaced, covering the whole run rather than just its tail.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// TimelineSample is one snapshot of the run's cumulative metrics at sim
+// time T. All counters are cumulative since the start of the run, so a
+// delivery- or energy-vs-time curve is the sample sequence itself and
+// rates are first differences.
+type TimelineSample struct {
+	T           time.Duration `json:"tNs"`
+	Sent        uint64        `json:"sent"`       // transmissions, all kinds
+	Delivered   uint64        `json:"delivered"`  // DATA deliveries to requesters
+	Drops       uint64        `json:"drops"`      // packets lost to dead/out-of-range nodes
+	Duplicates  uint64        `json:"duplicates"` // redundant data receptions
+	Timeouts    uint64        `json:"timeouts"`
+	TotalEnergy float64       `json:"totalEnergyUJ"` // cumulative, µJ
+	CtrlEnergy  float64       `json:"ctrlEnergyUJ"`  // routing-control share, µJ
+}
+
+// DefaultTimelineMaxSamples bounds a timeline that does not choose its own
+// cap: ~4k points is dense enough for any plot and small enough to hold
+// for the longest run.
+const DefaultTimelineMaxSamples = 4096
+
+// Timeline accumulates samples at a fixed tick interval under a hard
+// sample-count bound. The zero value — and a nil *Timeline — is disabled:
+// Offer no-ops. Construct with NewTimeline to enable.
+type Timeline struct {
+	interval time.Duration
+	max      int
+
+	samples []TimelineSample
+	stride  int // record every stride-th offered tick; doubles on decimation
+	tick    int // offered ticks since the last recorded sample
+}
+
+// NewTimeline returns a timeline sampling every interval of sim time,
+// holding at most maxSamples points (<= 0 means
+// DefaultTimelineMaxSamples). interval must be positive.
+func NewTimeline(interval time.Duration, maxSamples int) (*Timeline, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("obs: non-positive timeline interval %v", interval)
+	}
+	if maxSamples <= 0 {
+		maxSamples = DefaultTimelineMaxSamples
+	}
+	if maxSamples < 4 {
+		// Below this, decimation degenerates; the bound is about memory,
+		// not about plotting two points.
+		maxSamples = 4
+	}
+	// An even cap keeps decimation exact: with stride s and an even cap the
+	// sample that triggers decimation sits precisely one doubled stride past
+	// the last retained one, so spacing stays uniform through the fold.
+	maxSamples += maxSamples % 2
+	return &Timeline{interval: interval, max: maxSamples, stride: 1}, nil
+}
+
+// Interval returns the base tick interval the harness should schedule at.
+// Decimation is internal: the caller always ticks at this rate and the
+// timeline decides which ticks to keep.
+func (tl *Timeline) Interval() time.Duration {
+	if tl == nil {
+		return 0
+	}
+	return tl.interval
+}
+
+// Offer presents the sample taken at the current tick. Disabled (nil or
+// zero-value) timelines ignore it. When the buffer is full the timeline
+// first decimates: it keeps every other retained sample and doubles its
+// stride, so retained samples stay uniformly stride·interval apart.
+func (tl *Timeline) Offer(s TimelineSample) {
+	if tl == nil || tl.stride == 0 {
+		return
+	}
+	tl.tick++
+	if tl.tick < tl.stride {
+		return
+	}
+	tl.tick = 0
+	if len(tl.samples) >= tl.max {
+		// Fold: keep every other sample and double the stride. With stride s
+		// the retained ticks are a, a+s, …, a+(max-1)·s (a = the first tick
+		// ever recorded); keeping the even indices leaves a, a+2s, …,
+		// a+(max-2)·s, and the tick being offered is a+max·s — exactly one
+		// doubled stride past the last retained sample (max is even) — so
+		// appending it below keeps the spacing uniform at 2s.
+		half := tl.samples[:0]
+		for i := 0; i < len(tl.samples); i += 2 {
+			half = append(half, tl.samples[i])
+		}
+		tl.samples = half
+		tl.stride *= 2
+	}
+	tl.samples = append(tl.samples, s)
+}
+
+// Samples returns the retained samples in time order. The slice is the
+// timeline's own storage; callers must not mutate it.
+func (tl *Timeline) Samples() []TimelineSample {
+	if tl == nil {
+		return nil
+	}
+	return tl.samples
+}
+
+// Stride returns the current decimation stride: retained samples are
+// stride·Interval apart. 1 until the first decimation.
+func (tl *Timeline) Stride() int {
+	if tl == nil {
+		return 0
+	}
+	return tl.stride
+}
+
+// WriteJSONL streams the retained samples, one JSON object per line, in
+// time order. The encoding is hand-rolled with a fixed field order so the
+// bytes are a pure function of the samples.
+func (tl *Timeline) WriteJSONL(w io.Writer) error {
+	if tl == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, s := range tl.samples {
+		line = line[:0]
+		line = append(line, `{"tNs":`...)
+		line = strconv.AppendInt(line, int64(s.T), 10)
+		line = append(line, `,"sent":`...)
+		line = strconv.AppendUint(line, s.Sent, 10)
+		line = append(line, `,"delivered":`...)
+		line = strconv.AppendUint(line, s.Delivered, 10)
+		line = append(line, `,"drops":`...)
+		line = strconv.AppendUint(line, s.Drops, 10)
+		line = append(line, `,"duplicates":`...)
+		line = strconv.AppendUint(line, s.Duplicates, 10)
+		line = append(line, `,"timeouts":`...)
+		line = strconv.AppendUint(line, s.Timeouts, 10)
+		line = append(line, `,"totalEnergyUJ":`...)
+		line = appendJSONFloat(line, s.TotalEnergy)
+		line = append(line, `,"ctrlEnergyUJ":`...)
+		line = appendJSONFloat(line, s.CtrlEnergy)
+		line = append(line, '}', '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendJSONFloat formats a float the way encoding/json does ('g' with
+// the shortest round-trip precision), keeping hand-rolled lines and
+// encoding/json output interchangeable.
+func appendJSONFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

@@ -1,0 +1,178 @@
+// trace.go is the structured trace exporter: the run-wide generalization
+// of network.TraceEvent. The network layer's trace hook fires inside the
+// single-threaded event loop, in dispatch order, so streaming each event
+// as one JSONL line yields a byte-deterministic trace — identical across
+// runs of the same scenario and at every -sim-workers count, since worker
+// parallelism never touches the event loop (DESIGN.md §10, §11).
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// EventKind classifies trace events, mirroring network.TraceKind without
+// importing the network package (obs sits below it).
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EventTx      EventKind = iota + 1 // a node started a transmission
+	EventDeliver                      // a frame reached a live receiver
+	EventDrop                         // a frame was lost (Reason says why)
+)
+
+// String names the kind as it appears on the wire.
+func (k EventKind) String() string {
+	switch k {
+	case EventTx:
+		return "tx"
+	case EventDeliver:
+		return "deliver"
+	case EventDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observable network action with its simulation timestamp:
+// what happened (Kind), when (T, virtual time), where (Node — the sender
+// for EventTx, the delivering/dropping node otherwise), and the packet
+// identity (kind, metadata key, hop and end-to-end addressing).
+type Event struct {
+	T          time.Duration
+	Kind       EventKind
+	Node       packet.NodeID
+	PacketKind packet.Kind
+	Meta       packet.DataID
+	Src        packet.NodeID
+	Dst        packet.NodeID
+	Requester  packet.NodeID
+	Provider   packet.NodeID
+	Level      int
+	Bytes      int
+	Reason     string // drop reason, empty otherwise
+}
+
+// TraceSink streams events as JSONL. A nil *TraceSink is disabled: Emit,
+// Flush, and Events all no-op, allocation-free, which is what keeps the
+// network hot path untouched when tracing is off. Writes are buffered;
+// call Flush (or check Err) when the run completes.
+//
+// One line per event, fixed field order, hand-rolled encoding — the bytes
+// are a pure function of the event sequence:
+//
+//	{"t":2690000,"kind":"deliver","node":3,"pkt":"ADV","meta":"d1.0","src":1,"dst":-1,"req":-2,"prov":-2,"level":5,"bytes":2}
+//
+// with a trailing ,"reason":"..." on drops.
+type TraceSink struct {
+	w    *bufio.Writer
+	n    uint64
+	line []byte
+	err  error
+}
+
+// NewTraceSink returns an enabled sink writing to w.
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one event line. Emission errors are sticky: the first one
+// is retained for Flush/Err and later Emits become no-ops, so a mid-run
+// disk failure cannot corrupt the stream silently.
+func (s *TraceSink) Emit(ev Event) {
+	if s == nil || s.err != nil {
+		return
+	}
+	b := s.line[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(ev.T), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(ev.Node), 10)
+	b = append(b, `,"pkt":"`...)
+	b = append(b, ev.PacketKind.String()...)
+	b = append(b, `","meta":"d`...)
+	b = strconv.AppendInt(b, int64(ev.Meta.Origin), 10)
+	b = append(b, '.')
+	b = strconv.AppendInt(b, int64(ev.Meta.Seq), 10)
+	b = append(b, `","src":`...)
+	b = strconv.AppendInt(b, int64(ev.Src), 10)
+	b = append(b, `,"dst":`...)
+	b = strconv.AppendInt(b, int64(ev.Dst), 10)
+	b = append(b, `,"req":`...)
+	b = strconv.AppendInt(b, int64(ev.Requester), 10)
+	b = append(b, `,"prov":`...)
+	b = strconv.AppendInt(b, int64(ev.Provider), 10)
+	b = append(b, `,"level":`...)
+	b = strconv.AppendInt(b, int64(ev.Level), 10)
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, int64(ev.Bytes), 10)
+	if ev.Reason != "" {
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, ev.Reason)
+	}
+	b = append(b, '}', '\n')
+	s.line = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// Events returns the number of events written so far.
+func (s *TraceSink) Events() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Err returns the first write error, if any.
+func (s *TraceSink) Err() error {
+	if s == nil {
+		return nil
+	}
+	return s.err
+}
+
+// Flush drains the buffer and returns the sink's first error.
+func (s *TraceSink) Flush() error {
+	if s == nil {
+		return nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// appendJSONString appends v as a JSON string. Drop reasons are plain
+// ASCII today; the escape loop keeps the output valid JSON even if one
+// ever is not.
+func appendJSONString(b []byte, v string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, `\u00`...)
+			const hex = "0123456789abcdef"
+			b = append(b, hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

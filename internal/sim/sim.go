@@ -118,6 +118,10 @@ type Scheduler struct {
 	// dispatched counts events that have fired, for observability and as a
 	// runaway guard in tests.
 	dispatched uint64
+	// maxHeap is the largest pending-set size seen, for observability
+	// (obs.RunStats.PeakHeapDepth). One compare per push; never read on the
+	// hot path.
+	maxHeap int
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -134,6 +138,15 @@ func (s *Scheduler) Len() int { return len(s.heap) }
 
 // Dispatched returns the total number of events that have fired.
 func (s *Scheduler) Dispatched() uint64 { return s.dispatched }
+
+// PeakHeapDepth returns the largest number of simultaneously pending
+// events over the scheduler's lifetime.
+func (s *Scheduler) PeakHeapDepth() int { return s.maxHeap }
+
+// ArenaSize returns the number of event arena slots ever allocated — the
+// pool's high-water mark, since slots are recycled and the arena only
+// grows when every slot is in use.
+func (s *Scheduler) ArenaSize() int { return len(s.arena) }
 
 // alloc takes a slot from the free list, growing the arena only when the
 // pool is exhausted.
@@ -173,6 +186,9 @@ func (s *Scheduler) heapPush(idx int32) {
 	ev := &s.arena[idx]
 	ev.pos = int32(len(s.heap))
 	s.heap = append(s.heap, heapEntry{at: ev.at, seq: ev.seq, idx: idx})
+	if len(s.heap) > s.maxHeap {
+		s.maxHeap = len(s.heap)
+	}
 	s.siftUp(len(s.heap) - 1)
 }
 

@@ -522,3 +522,49 @@ func TestRNGPerm(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+// TestSchedulerKernelStats covers the observability accessors: peak heap
+// depth tracks the maximum simultaneously pending events and the arena
+// high-water mark never shrinks below it.
+func TestSchedulerKernelStats(t *testing.T) {
+	s := NewScheduler()
+	if s.PeakHeapDepth() != 0 || s.ArenaSize() != 0 {
+		t.Fatalf("fresh scheduler: peak=%d arena=%d, want 0,0", s.PeakHeapDepth(), s.ArenaSize())
+	}
+	// Schedule 10 events at distinct times before running: all ten are
+	// pending at once, so the peak must be exactly 10.
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PeakHeapDepth(); got != 10 {
+		t.Fatalf("PeakHeapDepth = %d, want 10", got)
+	}
+	if got := s.ArenaSize(); got < 10 {
+		t.Fatalf("ArenaSize = %d, want >= 10 (arena never shrinks)", got)
+	}
+
+	// A chain of one-at-a-time events must not raise the peak: the heap
+	// never holds more than one pending event.
+	s2 := NewScheduler()
+	var hops int
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 100 {
+			s2.After(time.Millisecond, hop)
+		}
+	}
+	s2.After(time.Millisecond, hop)
+	if err := s2.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.PeakHeapDepth(); got != 1 {
+		t.Fatalf("chained PeakHeapDepth = %d, want 1", got)
+	}
+	if got := s2.Dispatched(); got != 100 {
+		t.Fatalf("Dispatched = %d, want 100", got)
+	}
+}
