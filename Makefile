@@ -5,7 +5,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all build test race cover fuzz-smoke golden-update bench bench-smoke figures clean
+.PHONY: all build test race lint cover fuzz-smoke golden-update bench bench-smoke figures clean
 
 all: build
 
@@ -14,6 +14,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# lint runs the invariants-as-code analyzer suite (cmd/repolint,
+# DESIGN.md §12) over every package in the module, production and test
+# files alike. Non-zero exit on any finding; waivers need a reasoned
+# //repolint:allow annotation.
+lint:
+	$(GO) run ./cmd/repolint
 
 race:
 	$(GO) test -race ./...

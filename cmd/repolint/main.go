@@ -1,0 +1,73 @@
+// Command repolint runs the repository's invariants-as-code analyzer
+// suite (internal/lint) over every package in the module — production and
+// test files — and reports file:line diagnostics, exiting non-zero on any
+// finding. It is the machine check behind the three contracts the
+// codebase rests on: byte-identical deterministic output (DESIGN §2,
+// §10), nil-hooks-are-free observability (§11), and zero-value wire-form
+// compatibility (§9). See DESIGN.md §12 for the analyzer table and the
+// //repolint:allow waiver syntax.
+//
+// Usage:
+//
+//	repolint [-C dir] [-list]
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "run as if started in this directory")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repolint [-C dir] [-list]\n\nAnalyzers (see DESIGN.md §12):\n")
+		for _, a := range lint.All {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		// The suite is module-global by design: contracts span packages,
+		// so partial runs would let stale annotations hide.
+		fmt.Fprintln(os.Stderr, "repolint: package arguments are not supported; the suite always covers the whole module")
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(2)
+	}
+	broken := false
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			fmt.Fprintf(os.Stderr, "repolint: type error in %s: %v\n", p.Path, e)
+			broken = true
+		}
+	}
+	if broken {
+		os.Exit(2)
+	}
+
+	diags := lint.Run(lint.DefaultConfig(), pkgs, lint.All)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -576,17 +576,20 @@ func TestDeterministicRuns(t *testing.T) {
 
 func TestHooksPanicOutOfRange(t *testing.T) {
 	fx := chainFixture(t, 3, dissem.Everyone, 1)
-	for name, fn := range map[string]func(){
-		"Has":   func() { fx.sys.Has(99, packet.DataID{}) },
-		"Prone": func() { fx.sys.Prone(-1, packet.DataID{}) },
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Has", func() { fx.sys.Has(99, packet.DataID{}) }},
+		{"Prone", func() { fx.sys.Prone(-1, packet.DataID{}) }},
 	} {
-		t.Run(name, func(t *testing.T) {
+		t.Run(tc.name, func(t *testing.T) {
 			defer func() {
 				if recover() == nil {
 					t.Fatal("expected panic")
 				}
 			}()
-			fn()
+			tc.fn()
 		})
 	}
 }

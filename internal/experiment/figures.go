@@ -6,6 +6,7 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,9 +69,12 @@ func (t Table) CSV() string {
 	}
 	b.WriteByte('\n')
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%g", r.X)
+		// Canonical float form (DESIGN §9): the CSV bytes are golden, so
+		// pin them to strconv rather than fmt's default verb rendering.
+		b.WriteString(strconv.FormatFloat(r.X, 'g', -1, 64))
 		for _, c := range r.Cells {
-			fmt.Fprintf(&b, ",%g", c)
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(c, 'g', -1, 64))
 		}
 		b.WriteByte('\n')
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"sort"
 	"testing"
 	"time"
 )
@@ -42,13 +43,18 @@ func TestResultMetricsAlignment(t *testing.T) {
 	for i, n := range names {
 		idx[n] = i
 	}
-	for name, v := range want {
+	keys := make([]string, 0, len(want))
+	for name := range want {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	for _, name := range keys {
 		i, ok := idx[name]
 		if !ok {
 			t.Fatalf("metric %q missing from names %v", name, names)
 		}
-		if vals[i] != v {
-			t.Fatalf("metric %q = %v, want %v", name, vals[i], v)
+		if vals[i] != want[name] {
+			t.Fatalf("metric %q = %v, want %v", name, vals[i], want[name])
 		}
 	}
 

@@ -100,6 +100,7 @@ func (s ReplicatedSweep) Execute() ([][]Result, error) {
 	// callback write.
 	var onStart func(int)
 	if s.OnStart != nil {
+		//repolint:allow hooknil the closure is only constructed under this guard, and s is a value copy so the field cannot change afterward
 		onStart = func(t int) { s.OnStart(refs[t].point) }
 	}
 	inner := Sweep{

@@ -6,6 +6,7 @@ package fault
 
 import (
 	"encoding/json"
+	"sort"
 	"testing"
 	"time"
 
@@ -258,7 +259,12 @@ func TestBurstFailsExactlyTheBall(t *testing.T) {
 		for _, id := range failed {
 			got[id] = true
 		}
+		wantIDs := make([]packet.NodeID, 0, len(want))
 		for id := range want {
+			wantIDs = append(wantIDs, id)
+		}
+		sort.Slice(wantIDs, func(i, j int) bool { return wantIDs[i] < wantIDs[j] })
+		for _, id := range wantIDs {
 			if !got[id] {
 				t.Fatalf("burst at %v missed node %d (dist %v <= r %v)", epi, id, loc.Pos(id).Dist(epi), cfg.BurstRadius)
 			}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetSource forbids nondeterministic inputs inside the deterministic
+// packages: wall-clock reads (time.Now/Since/Until), draws from the
+// global math/rand stream (the package-level convenience functions share
+// unseeded process state; rand.New/NewSource construct seeded instances
+// and stay legal — sim.RNG is built on them), and environment reads
+// (os.Getenv and friends), which make output machine-dependent. Test
+// files are exempt: tests legitimately measure wall time; the contract
+// governs what simulations compute, not how long tests take.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "forbid wall clock, global math/rand, and environment reads in deterministic packages",
+	Run:  runDetSource,
+}
+
+// detForbidden maps package path -> function name -> explanation.
+var detForbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the environment",
+		"LookupEnv": "reads the environment",
+		"Environ":   "reads the environment",
+	},
+}
+
+// globalRandExempt lists the math/rand functions that do not draw from the
+// shared global source.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetSource(pass *Pass) {
+	if !pass.Cfg.Deterministic(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTest(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods are fine; the contract names package funcs
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			if why, ok := detForbidden[path][name]; ok {
+				pass.Reportf(call.Pos(), "call to %s.%s %s, breaking the byte-identical output contract (DESIGN §2); use sim time or thread the value in", path, name, why)
+				return true
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && !globalRandExempt[name] {
+				pass.Reportf(call.Pos(), "call to %s.%s draws from the global, unseeded random stream; use a seeded sim.RNG (fork per subsystem)", path, name)
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the function a call statically invokes, or nil for
+// dynamic calls (func values, interface methods without a resolved obj).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

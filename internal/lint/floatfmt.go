@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// FloatFmt keeps float bytes canonical in output-producing code: sinks,
+// figure tables, and trace streams must format floats through the
+// canonical shortest-round-trip form (strconv.FormatFloat(v, 'g', -1, 64),
+// as campaign's gf helper does), never a bare %v/%g fmt verb or fmt.Sprint
+// catch-all. The canonical helper and the bare verb agree today, but the
+// contract must not hang on fmt's default verb choice staying put — golden
+// corpus bytes are load-bearing (DESIGN §9).
+//
+// Flagged in deterministic packages, non-test files:
+//
+//   - %v or %g without width or precision applied to a float-typed
+//     argument in a Printf-family call;
+//   - any float-typed argument to the Sprint/Fprint/Sprintln family,
+//     whose rendering is the same unpinned default.
+//
+// Explicit-precision verbs (%.2f, %.6g) are deliberate formatting choices
+// and pass. fmt.Errorf is exempt: error text is diagnostics, not sink
+// bytes.
+var FloatFmt = &Analyzer{
+	Name: "floatfmt",
+	Doc:  "output-producing code must format floats via the canonical helpers, not bare %v/%g",
+	Run:  runFloatFmt,
+}
+
+// printfFamily maps fmt function name to the index of its format-string
+// argument; -1 marks the Print family (no format string).
+var printfFamily = map[string]int{
+	"Sprintf": 0, "Printf": 0, "Fprintf": 1, "Appendf": 1,
+	"Sprint": -1, "Print": -1, "Fprint": -1, "Sprintln": -1,
+	"Println": -1, "Fprintln": -1, "Append": -1, "Appendln": -1,
+}
+
+// printArgStart is where the value arguments begin for the Print family.
+var printArgStart = map[string]int{
+	"Sprint": 0, "Print": 0, "Sprintln": 0, "Println": 0,
+	"Fprint": 1, "Fprintln": 1, "Append": 1, "Appendln": 1,
+}
+
+func runFloatFmt(pass *Pass) {
+	if !pass.Cfg.Deterministic(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTest(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+				return true
+			}
+			fmtIdx, ok := printfFamily[fn.Name()]
+			if !ok {
+				return true
+			}
+			if fmtIdx < 0 {
+				for _, arg := range call.Args[min(printArgStart[fn.Name()], len(call.Args)):] {
+					if isFloat(info.TypeOf(arg)) {
+						pass.Reportf(arg.Pos(), "float argument to fmt.%s uses fmt's unpinned default rendering; format via the canonical helper (strconv.FormatFloat(v, 'g', -1, 64))", fn.Name())
+					}
+				}
+				return true
+			}
+			if fmtIdx >= len(call.Args) {
+				return true
+			}
+			format, ok := constantString(info, call.Args[fmtIdx])
+			if !ok {
+				return true // dynamic format string: nothing to prove
+			}
+			for _, v := range parseVerbs(format) {
+				if v.verb != 'v' && v.verb != 'g' && v.verb != 'G' {
+					continue
+				}
+				if v.hasWidthOrPrec {
+					continue
+				}
+				argIdx := fmtIdx + 1 + v.arg
+				if argIdx >= len(call.Args) {
+					continue
+				}
+				if isFloat(info.TypeOf(call.Args[argIdx])) {
+					pass.Reportf(call.Args[argIdx].Pos(), "float formatted with bare %%%c; sink bytes must come from the canonical helper (strconv.FormatFloat(v, 'g', -1, 64)), not fmt's default float rendering", v.verb)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verbSpec is one conversion in a format string: the verb rune, whether an
+// explicit width or precision pins the rendering, and the index of the
+// argument it consumes (counting * width/precision arguments).
+type verbSpec struct {
+	verb           byte
+	hasWidthOrPrec bool
+	arg            int
+}
+
+// parseVerbs scans a Printf format string. Explicit argument indexes
+// (%[n]v) abort the scan — the call is skipped rather than mis-mapped.
+func parseVerbs(format string) []verbSpec {
+	var specs []verbSpec
+	arg := 0
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		spec := verbSpec{}
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil // explicit argument index: bail
+		}
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				arg++
+			}
+			spec.hasWidthOrPrec = true
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			spec.hasWidthOrPrec = true
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					arg++
+				}
+				i++
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		spec.verb = format[i]
+		spec.arg = arg
+		arg++
+		i++
+		specs = append(specs, spec)
+	}
+	return specs
+}

@@ -1,0 +1,278 @@
+// load.go loads every package in the module for analysis using only the
+// standard library: file lists come from `go list` (the toolchain, not a
+// module dependency), syntax from go/parser, and types from go/types with
+// export data served to importer.ForCompiler's gc reader straight out of
+// the build cache. No golang.org/x/tools import — offline builds keep
+// working (ISSUE 8's hard constraint).
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package of the module, ready for analysis.
+// Files holds every compiled file, including in-package _test.go files;
+// analyzers that only govern production code skip test files via IsTest.
+type Package struct {
+	Path  string // import path ("repro/internal/sim")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Errors holds type-check problems. A package with errors is still
+	// analyzed (the Info maps are filled best-effort), but the driver
+	// reports the errors and fails the run: analyzers cannot vouch for
+	// code they could not fully resolve.
+	Errors []error
+}
+
+// IsTest reports whether f is a _test.go file.
+func (p *Package) IsTest(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.File(f.Pos()).Name(), "_test.go")
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// listedPackage is the slice of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	ForTest      string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+}
+
+// stdExports maps import paths of out-of-module dependencies (in practice:
+// the standard library) to their build-cache export files, lazily filling
+// misses with individual `go list -export` calls.
+type stdExports struct {
+	dir   string // module root: where go list runs
+	mu    sync.Mutex
+	paths map[string]string
+}
+
+func (s *stdExports) lookup(path string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	file, ok := s.paths[path]
+	s.mu.Unlock()
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("lint: no export data for %q: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		s.mu.Lock()
+		s.paths[path] = file
+		s.mu.Unlock()
+	}
+	if file == "" {
+		return nil, fmt.Errorf("lint: empty export data path for %q", path)
+	}
+	return os.Open(file)
+}
+
+// moduleImporter resolves imports during type-checking: module packages
+// from the already-checked set (Load checks in dependency order), and
+// everything else through gc export data.
+type moduleImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// Load type-checks every package of the module rooted at dir (production
+// and test files) and returns them in a deterministic order. It shells out
+// to the go command once for metadata; everything else is stdlib parsing
+// and type-checking.
+func Load(dir string) ([]*Package, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "list", "-json", "-deps", "-test", "-export", "./...")
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := &stdExports{dir: root, paths: make(map[string]string)}
+	var mod []*listedPackage
+	seen := make(map[string]bool)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		// Variant compilations ("p [p.test]") and synthetic test mains
+		// ("p.test") duplicate the plain package; skip them, keeping the
+		// plain entry whose TestGoFiles/XTestGoFiles fields carry the
+		// test sources.
+		if lp.ForTest != "" || strings.HasSuffix(lp.ImportPath, ".test") ||
+			strings.Contains(lp.ImportPath, " ") || seen[lp.ImportPath] {
+			continue
+		}
+		seen[lp.ImportPath] = true
+		if lp.Export != "" {
+			exports.paths[lp.ImportPath] = lp.Export
+		}
+		if !lp.Standard && isUnder(lp.Dir, root) {
+			mod = append(mod, lp)
+		}
+	}
+	sort.Slice(mod, func(i, j int) bool { return mod[i].ImportPath < mod[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		std:  importer.ForCompiler(fset, "gc", exports.lookup),
+		pkgs: make(map[string]*types.Package),
+	}
+
+	// Units: one per package (GoFiles + in-package TestGoFiles), plus one
+	// per external test package (XTestGoFiles), checked after its subject.
+	type unit struct {
+		path, dir string
+		files     []string
+		deps      []string
+	}
+	var units []*unit
+	byPath := make(map[string]*unit)
+	for _, lp := range mod {
+		u := &unit{
+			path:  lp.ImportPath,
+			dir:   lp.Dir,
+			files: append(append([]string(nil), lp.GoFiles...), lp.TestGoFiles...),
+			deps:  append(append([]string(nil), lp.Imports...), lp.TestImports...),
+		}
+		units = append(units, u)
+		byPath[u.path] = u
+		if len(lp.XTestGoFiles) > 0 {
+			units = append(units, &unit{
+				path:  lp.ImportPath + "_test",
+				dir:   lp.Dir,
+				files: append([]string(nil), lp.XTestGoFiles...),
+				deps:  append([]string{lp.ImportPath}, lp.XTestImports...),
+			})
+		}
+	}
+
+	// Topological order over module-internal imports so every dependency
+	// is checked before its importers.
+	var ordered []*unit
+	state := make(map[*unit]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(u *unit) error
+	visit = func(u *unit) error {
+		switch state[u] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", u.path)
+		case 2:
+			return nil
+		}
+		state[u] = 1
+		for _, d := range u.deps {
+			if du, ok := byPath[d]; ok && du != u {
+				if err := visit(du); err != nil {
+					return err
+				}
+			}
+		}
+		state[u] = 2
+		ordered = append(ordered, u)
+		return nil
+	}
+	for _, u := range units {
+		if err := visit(u); err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for _, u := range ordered {
+		p, err := checkUnit(fset, imp, u.path, u.dir, u.files)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[u.path] = p.Types
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkUnit parses and type-checks one compilation unit.
+func checkUnit(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	p := &Package{Path: path, Dir: dir, Fset: fset}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.Errors = append(p.Errors, err) },
+	}
+	// Check returns the package even when errors were collected; analysis
+	// proceeds best-effort and the driver surfaces p.Errors.
+	p.Types, _ = cfg.Check(path, fset, p.Files, p.Info)
+	return p, nil
+}
+
+func isUnder(dir, root string) bool {
+	rel, err := filepath.Rel(root, dir)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}

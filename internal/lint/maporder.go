@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` over a map in deterministic packages unless
+// the loop body is provably order-insensitive. Go randomizes map iteration
+// order per run, so any observable effect of the visit order — appending
+// to a slice, float accumulation, first-match returns, subtest scheduling —
+// breaks the byte-identical output contract (DESIGN §2).
+//
+// The proof is deliberately conservative. A body is order-insensitive when
+// every statement is one of:
+//
+//   - a commutative integer accumulation (x++, x--, x += e, x |= e,
+//     x &= e, x ^= e on integer types) — integer addition is associative
+//     and commutative, float addition is not;
+//   - a write keyed by the loop key (m2[k] = e, delete(m2, k)): distinct
+//     iterations touch distinct keys;
+//   - an if statement (no else-less restrictions) whose branches recurse;
+//   - a bare continue or an empty statement,
+//
+// and no expression in the body reads a variable the body itself writes
+// (an accumulator feeding a keyed write reintroduces order dependence).
+//
+// The canonical determinization idiom is also accepted: a body that only
+// appends to slices (keys = append(keys, k)) is fine when every such
+// slice is sorted — sort.Strings/sort.Slice/slices.Sort and friends —
+// before any later statement in the same block reads it. Everything else
+// needs that sort — or a //repolint:allow maporder <reason> waiver
+// stating why the order cannot be observed.
+//
+// Unlike detsource, maporder covers _test.go files too: ranging a map of
+// subtests randomizes test order and cache behavior across runs.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive iteration over maps in deterministic packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !pass.Cfg.Deterministic(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Walk statement lists rather than bare RangeStmts: the
+		// collect-then-sort proof needs to see the statements that follow
+		// the loop in its enclosing block.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				if ls, ok := st.(*ast.LabeledStmt); ok {
+					st = ls.Stmt
+				}
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if orderInsensitive(info, rs) || collectThenSorted(info, rs, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "range over map %s has an order-dependent body; iterate a sorted slice of keys (map order is randomized per run, DESIGN §2)", types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+}
+
+// collectThenSorted recognizes the canonical determinization idiom: the
+// range body only appends to slices (s = append(s, …)), none of the
+// appended elements reads an accumulating slice, and each slice is sorted
+// — sort.X(s, …) or slices.SortX(s, …) — before any later statement in
+// the enclosing block reads it. The sort erases the visit order, so the
+// loop is harmless even though append order is randomized.
+func collectThenSorted(info *types.Info, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	targets := make(map[types.Object]bool)
+	var calls []*ast.CallExpr
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		obj := identObj(info, as.Lhs[0])
+		if obj == nil {
+			return false
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return false
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		if bi, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin || bi.Name() != "append" {
+			return false
+		}
+		if identObj(info, call.Args[0]) != obj {
+			return false
+		}
+		targets[obj] = true
+		calls = append(calls, call)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	// Appended elements must not read an accumulating slice (append(s,
+	// len(s)) smuggles the visit order into the values; no sort fixes
+	// that).
+	for _, call := range calls {
+		for _, arg := range call.Args[1:] {
+			bad := false
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && targets[info.Uses[id]] {
+					bad = true
+				}
+				return !bad
+			})
+			if bad {
+				return false
+			}
+		}
+	}
+	for obj := range targets {
+		if !sortedBeforeRead(info, obj, rest) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedBeforeRead scans the statements following the loop for a sort of
+// obj, failing if anything else mentions obj first.
+func sortedBeforeRead(info *types.Info, obj types.Object, rest []ast.Stmt) bool {
+	for _, st := range rest {
+		if isSortCall(info, st, obj) {
+			return true
+		}
+		mentions := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				mentions = true
+			}
+			return !mentions
+		})
+		if mentions {
+			return false
+		}
+	}
+	return false
+}
+
+// isSortCall reports whether st is a statement-level call to an in-place
+// sorting function from package sort or slices with obj among its
+// arguments.
+func isSortCall(info *types.Info, st ast.Stmt, obj types.Object) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	switch name := fn.Name(); {
+	case strings.HasPrefix(name, "Sort"), name == "Slice", name == "SliceStable",
+		name == "Stable", name == "Strings", name == "Ints", name == "Float64s":
+	default:
+		return false
+	}
+	for _, arg := range call.Args {
+		if identObj(info, arg) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// orderInsensitive reports whether the range body provably produces the
+// same state for every visit order.
+func orderInsensitive(info *types.Info, rs *ast.RangeStmt) bool {
+	keyObj := rangeVarObj(info, rs.Key)
+	// Pass 1: validate statement forms and collect every object the body
+	// writes.
+	written := make(map[types.Object]bool)
+	if !insensitiveStmts(info, rs.Body.List, keyObj, written) {
+		return false
+	}
+	// Pass 2: no expression read may touch a written object; an iteration
+	// observing another iteration's accumulation is order-dependent.
+	ok := true
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || !ok {
+			return ok
+		}
+		if obj := info.Uses[id]; obj != nil && written[obj] && !writeTarget(rs.Body, id) {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// insensitiveStmts validates the allowed statement forms, recording
+// written objects.
+func insensitiveStmts(info *types.Info, stmts []ast.Stmt, keyObj types.Object, written map[types.Object]bool) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.IncDecStmt:
+			obj := baseIdentObj(info, s.X)
+			if obj == nil || !isInteger(info.TypeOf(s.X)) {
+				return false
+			}
+			written[obj] = true
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				obj := baseIdentObj(info, s.Lhs[0])
+				if obj == nil || !isInteger(info.TypeOf(s.Lhs[0])) {
+					return false
+				}
+				written[obj] = true
+			case token.ASSIGN:
+				// Only writes keyed by the loop key: m2[k] = expr.
+				idx, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr)
+				if !ok || keyObj == nil || identObj(info, idx.Index) != keyObj {
+					return false
+				}
+				obj := baseIdentObj(info, idx.X)
+				if obj == nil {
+					return false
+				}
+				written[obj] = true
+			default:
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m2, k)
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return false
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "delete" || info.Uses[id] != nil && info.Uses[id].Pkg() != nil {
+				return false
+			}
+			if keyObj == nil || identObj(info, call.Args[1]) != keyObj {
+				return false
+			}
+			obj := baseIdentObj(info, call.Args[0])
+			if obj == nil {
+				return false
+			}
+			written[obj] = true
+		case *ast.IfStmt:
+			if s.Init != nil {
+				return false
+			}
+			if !insensitiveStmts(info, s.Body.List, keyObj, written) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !insensitiveStmts(info, e.List, keyObj, written) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE || s.Label != nil {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// writeTarget reports whether id is itself the target of one of the
+// allowed writes (the LHS base), as opposed to a read.
+func writeTarget(body *ast.BlockStmt, id *ast.Ident) bool {
+	target := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			if baseIdent(s.X) == id {
+				target = true
+			}
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				if baseIdent(l) == id {
+					target = true
+				}
+				if idx, ok := ast.Unparen(l).(*ast.IndexExpr); ok && baseIdent(idx.X) == id {
+					target = true
+				}
+			}
+		case *ast.CallExpr:
+			if f, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && f.Name == "delete" && len(s.Args) == 2 && baseIdent(s.Args[0]) == id {
+				target = true
+			}
+		}
+		return !target
+	})
+	return target
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// baseIdent peels selectors, indexes, parens, and stars down to the
+// leftmost identifier, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func baseIdentObj(info *types.Info, e ast.Expr) types.Object {
+	id := baseIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,46 @@
+// Package annot exercises the //repolint:allow directive machinery: a
+// valid waiver suppressing a finding (own-line and trailing), an unknown
+// analyzer name, a missing reason, and a stale waiver. Directive lines
+// cannot also carry want comments, so lint_test.go asserts the exact
+// outcomes for this package directly instead of through the corpus
+// harness.
+package annot
+
+import "time"
+
+// Suppressed: the waiver names a real analyzer and gives a reason.
+func Suppressed() time.Time {
+	//repolint:allow detsource corpus proof that a reasoned waiver suppresses the finding
+	return time.Now()
+}
+
+// Trailing: a same-line waiver also suppresses.
+func Trailing() time.Time {
+	return time.Now() //repolint:allow detsource trailing waivers cover their own line
+}
+
+// Unknown: the analyzer name does not exist — reported, and the finding
+// below survives.
+func Unknown() time.Time {
+	//repolint:allow typosource the analyzer name is wrong
+	return time.Now()
+}
+
+// Missing: no reason given — reported, and the finding below survives.
+func Missing() time.Time {
+	//repolint:allow detsource
+	return time.Now()
+}
+
+// Stale: the waiver suppresses nothing.
+func Stale() int {
+	//repolint:allow detsource nothing on the next line actually trips the analyzer
+	return 42
+}
+
+// WrongAnalyzer: a waiver for a different analyzer does not suppress —
+// the finding survives and the waiver is stale.
+func WrongAnalyzer() time.Time {
+	//repolint:allow maporder the wrong analyzer name leaves the finding live
+	return time.Now()
+}

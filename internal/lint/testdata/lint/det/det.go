@@ -1,0 +1,36 @@
+// Package det exercises the detsource corpus: wall-clock reads, draws
+// from the global math/rand stream, and environment reads are forbidden
+// in deterministic packages.
+package det
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `reads the wall clock`
+}
+
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reads the wall clock`
+}
+
+func Roll() int {
+	return rand.Intn(6) // want `global, unseeded random stream`
+}
+
+// Seeded constructs its own source: the constructors are exempt.
+func Seeded() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}
+
+func Home() string {
+	return os.Getenv("HOME") // want `reads the environment`
+}
+
+// Methods are fine; the contract names package-level functions.
+func Rounded(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond)
+}

@@ -1,0 +1,75 @@
+// Package hooks exercises the hooknil call-site corpus: calls through
+// function-typed fields the package itself treats as nillable must be
+// dominated by a nil check.
+package hooks
+
+type Event struct{ ID int }
+
+// Bus carries two optional hooks (trace, onDrop — both compared to nil
+// below) and one that is never nil-compared (always), which the analyzer
+// treats as always-set.
+type Bus struct {
+	trace  func(Event)
+	onDrop func(Event)
+	always func(Event)
+}
+
+func (b *Bus) SetTrace(fn func(Event)) { b.trace = fn }
+
+func (b *Bus) emitGuarded(ev Event) {
+	if b.trace != nil {
+		b.trace(ev)
+	}
+}
+
+func (b *Bus) emitConjunct(ev Event) {
+	if ev.ID > 0 && b.trace != nil {
+		b.trace(ev)
+	}
+}
+
+func (b *Bus) emitElseBranch(ev Event) {
+	if b.trace == nil {
+		b.always(ev)
+	} else {
+		b.trace(ev)
+	}
+}
+
+func (b *Bus) emitEarlyBail(ev Event) {
+	if b.trace == nil {
+		return
+	}
+	b.trace(ev)
+}
+
+func (b *Bus) emitUnguarded(ev Event) {
+	b.trace(ev) // want `not dominated by a nil check`
+}
+
+// emitClosure guards outside the closure: the deferred call may run after
+// the hook was reassigned, so the guard does not dominate.
+func (b *Bus) emitClosure(ev Event) {
+	if b.onDrop != nil {
+		defer func() {
+			b.onDrop(ev) // want `not dominated by a nil check`
+		}()
+	}
+}
+
+// emitAlways calls a field never compared against nil anywhere in the
+// package: treated as always-set, no guard required.
+func (b *Bus) emitAlways(ev Event) {
+	b.always(ev)
+}
+
+// Use keeps the unexported emit helpers referenced.
+func (b *Bus) Use(ev Event) {
+	b.emitGuarded(ev)
+	b.emitConjunct(ev)
+	b.emitElseBranch(ev)
+	b.emitEarlyBail(ev)
+	b.emitUnguarded(ev)
+	b.emitClosure(ev)
+	b.emitAlways(ev)
+}

@@ -1,0 +1,66 @@
+// Package kernels exercises the zonewrite corpus: zone.For kernels may
+// write captured state only at slots their own [lo, hi) range owns, or
+// per-worker scratch indexed by the worker parameter.
+package kernels
+
+import "lintdata/zone"
+
+// Scale writes xs[i] under its own induction variable: owned slots.
+func Scale(xs []float64, f float64) {
+	zone.For(4, len(xs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] *= f
+		}
+	})
+}
+
+// PerWorker accumulates into worker-indexed scratch.
+func PerWorker(scratch []int, n int) {
+	zone.For(len(scratch), n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			scratch[w]++
+		}
+	})
+}
+
+// Local state declared inside the kernel is the kernel's own.
+func Local(n int) int {
+	var last int
+	zone.For(1, n, func(_, lo, hi int) {
+		count := 0
+		for i := lo; i < hi; i++ {
+			count++
+		}
+		last = count // want `writes captured variable last`
+	})
+	return last
+}
+
+// SharedSum races every worker on one captured scalar.
+func SharedSum(xs []float64) float64 {
+	var sum float64
+	zone.For(4, len(xs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want `writes captured variable sum`
+		}
+	})
+	return sum
+}
+
+// MapStore writes a captured map: unsafe at any key.
+func MapStore(m map[int]int, n int) {
+	zone.For(4, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m[i] = i // want `captured map`
+		}
+	})
+}
+
+// WrongIndex writes a fixed slot from every worker.
+func WrongIndex(xs []int, n int) {
+	zone.For(4, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[0] = i // want `outside its \[lo,hi\) range`
+		}
+	})
+}

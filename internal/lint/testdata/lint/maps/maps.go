@@ -1,0 +1,100 @@
+// Package maps exercises the maporder corpus: ranging over a map is fine
+// only when the body is provably order-insensitive or follows the
+// collect-then-sort idiom.
+package maps
+
+import "sort"
+
+// Keys is the canonical determinization idiom: append-only body, sorted
+// before any read.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum is a commutative integer accumulation.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Mirror writes only under the loop key: distinct iterations touch
+// distinct keys.
+func Mirror(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// Prune deletes under the loop key.
+func Prune(m map[string]bool) {
+	for k, ok := range m {
+		if !ok {
+			delete(m, k)
+		}
+	}
+}
+
+// FloatSum is order-dependent: float addition does not commute in
+// rounding.
+func FloatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `order-dependent body`
+		total += v
+	}
+	return total
+}
+
+// FirstOver returns whichever qualifying key the runtime visits first.
+func FirstOver(m map[string]int, limit int) string {
+	for k, v := range m { // want `order-dependent body`
+		if v > limit {
+			return k
+		}
+	}
+	return ""
+}
+
+// Collect appends but never sorts: the slice order is the visit order.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `order-dependent body`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectReadFirst sorts too late: the length read observes nothing, but
+// any statement touching the slice before the sort voids the proof.
+func CollectReadFirst(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `order-dependent body`
+		keys = append(keys, k)
+	}
+	first := ""
+	if len(keys) > 0 {
+		first = keys[0]
+	}
+	sort.Strings(keys)
+	_ = first
+	return keys
+}
+
+// Waived shows a reasoned suppression.
+func Waived(m map[string]int) string {
+	s := ""
+	//repolint:allow maporder the result feeds a debug log whose line order is not part of any golden output
+	for k := range m {
+		s += k
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+// Package obs exercises the hooknil receiver-guard corpus: exported
+// pointer-receiver methods of a configured nil-safe type must begin with
+// a receiver nil check.
+package obs
+
+// Observer is registered in the test Config's NilSafe list.
+type Observer struct {
+	N int
+}
+
+// Guarded begins with the required nil check.
+func (o *Observer) Guarded() {
+	if o == nil {
+		return
+	}
+	o.N++
+}
+
+// GuardedDisjunct may fold the nil test into an || chain.
+func (o *Observer) GuardedDisjunct(x int) bool {
+	if o == nil || x < 0 {
+		return false
+	}
+	o.N += x
+	return true
+}
+
+func (o *Observer) Bare() { // want `must begin with a receiver nil check`
+	o.N++
+}
+
+// Value receivers cannot observe their own nilness and are exempt.
+func (o Observer) Count() int { return o.N }
+
+// Unexported methods are internal plumbing, not contract surface.
+func (o *Observer) bump() { o.N++ }

@@ -1,0 +1,42 @@
+// Package output exercises the floatfmt corpus: float bytes in
+// deterministic packages must come from the canonical helper, not fmt's
+// unpinned default verb rendering.
+package output
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Row uses the canonical shortest-round-trip form.
+func Row(x, y float64) string {
+	return fmt.Sprintf("%s,%s",
+		strconv.FormatFloat(x, 'g', -1, 64), strconv.FormatFloat(y, 'g', -1, 64))
+}
+
+func BareG(x float64) string {
+	return fmt.Sprintf("x=%g", x) // want `bare %g`
+}
+
+func BareV(x float64) string {
+	return fmt.Sprintf("x=%v", x) // want `bare %v`
+}
+
+// Pinned precision is a deliberate formatting choice.
+func Pinned(x float64) string {
+	return fmt.Sprintf("x=%.4g", x)
+}
+
+func Sprinted(x float64) string {
+	return fmt.Sprint(x) // want `unpinned default rendering`
+}
+
+// Non-float arguments are out of scope.
+func Ints(n int) string {
+	return fmt.Sprintf("%v", n)
+}
+
+// Errorf is diagnostics, not sink bytes.
+func Oops(x float64) error {
+	return fmt.Errorf("bad radius %v", x)
+}

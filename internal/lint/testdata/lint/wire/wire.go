@@ -1,0 +1,34 @@
+// Package wire exercises the wirezero corpus: exported fields of a
+// configured wire struct must be omitempty, filled by the defaults
+// method, or grandfathered. The test Config also registers a struct that
+// does not exist, which must be reported rather than silently skipped.
+package wire // want `configured wire struct lintdata/wire\.Missing not found`
+
+// Scenario is registered with DefaultsFunc "WithDefaults" and
+// Grandfathered ["Name"].
+type Scenario struct {
+	Name    string  `json:"name"`
+	Seed    int64   `json:"seed,omitempty"`
+	Radius  float64 `json:"radius"`
+	Workers int     `json:"workers"` // want `no omitempty`
+	hidden  int
+	Skip    int `json:"-"`
+}
+
+// WithDefaults fills Radius, making its zero value an alias for the
+// explicit default.
+func (s Scenario) WithDefaults() Scenario {
+	if s.Radius == 0 {
+		s.Radius = 10
+	}
+	s.hidden = 1
+	_ = s.Skip
+	return s
+}
+
+// Wrapper is registered with no defaults method; its embedded field must
+// be called out so the config cannot silently rot.
+type Wrapper struct {
+	Scenario `json:"scenario"` // want `embeds`
+	Tag      string            `json:"tag,omitempty"`
+}

@@ -1,0 +1,13 @@
+// Package zone is a miniature stand-in for the repository's fork-join
+// helper, giving the zonewrite corpus a resolvable kernel entry point
+// (the test Config points ZoneFor at lintdata/zone.For).
+package zone
+
+// For invokes fn over [0, n) as a single chunk; the corpus only needs the
+// call shape, not real parallelism.
+func For(workers, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	fn(0, 0, n)
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// WireZero guards the zero-value wire-form contract (DESIGN §9): a
+// scenario written before a field existed must decode, default, run, and
+// re-serialize byte-identically. For each configured wire struct, every
+// exported field must either
+//
+//   - carry `omitempty` in its json tag (absent on old wires, absent when
+//     re-encoded at its zero value), or
+//   - be filled by the struct's defaults method (WithDefaults), making
+//     the zero value an alias for explicit paper behavior, or
+//   - be grandfathered: present before this analyzer existed, where the
+//     always-emitted field is itself part of the frozen byte format.
+//
+// Unexported and json:"-" fields never reach the wire and are exempt.
+var WireZero = &Analyzer{
+	Name: "wirezero",
+	Doc:  "new wire-form fields must be omitempty or covered by the defaults method",
+	Run:  runWireZero,
+}
+
+func runWireZero(pass *Pass) {
+	var wire []WireStruct
+	for _, w := range pass.Cfg.Wire {
+		if w.Path == pass.Pkg.Path {
+			wire = append(wire, w)
+		}
+	}
+	if len(wire) == 0 {
+		return
+	}
+	for _, w := range wire {
+		st := findStruct(pass.Pkg, w.Name)
+		if st == nil {
+			pass.Reportf(pass.Pkg.Files[0].Pos(), "configured wire struct %s.%s not found; update the wirezero config in internal/lint", w.Path, w.Name)
+			continue
+		}
+		covered := defaultsCovered(pass.Pkg, w)
+		grand := make(map[string]bool, len(w.Grandfathered))
+		for _, g := range w.Grandfathered {
+			grand[g] = true
+		}
+		for _, field := range st.Fields.List {
+			tag := fieldJSONTag(field)
+			if tag == "-" || tagHasOmitempty(tag) {
+				continue
+			}
+			for _, name := range field.Names {
+				if !name.IsExported() || grand[name.Name] || covered[name.Name] {
+					continue
+				}
+				pass.Reportf(name.Pos(), "wire field %s.%s has no omitempty and is not filled by %s; a pre-existing wire document would re-serialize differently (DESIGN §9)", w.Name, name.Name, defaultsName(w))
+			}
+			if len(field.Names) == 0 {
+				// Embedded field: its own struct must be configured
+				// separately; flag so the config cannot silently rot.
+				pass.Reportf(field.Pos(), "wire struct %s embeds %s; configure the embedded struct in the wirezero config", w.Name, types.ExprString(field.Type))
+			}
+		}
+	}
+}
+
+func defaultsName(w WireStruct) string {
+	if w.DefaultsFunc == "" {
+		return "a defaults method (none configured)"
+	}
+	return w.DefaultsFunc
+}
+
+// findStruct locates the named struct type declaration in non-test files.
+func findStruct(pkg *Package, name string) *ast.StructType {
+	for _, f := range pkg.Files {
+		if pkg.IsTest(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// defaultsCovered returns the set of field names the struct's defaults
+// method assigns (s.Field = ..., s.Field.Sub = ..., including multi-assign
+// tuples), i.e. fields whose zero value is replaced before use.
+func defaultsCovered(pkg *Package, w WireStruct) map[string]bool {
+	covered := make(map[string]bool)
+	if w.DefaultsFunc == "" {
+		return covered
+	}
+	for _, f := range pkg.Files {
+		if pkg.IsTest(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != w.DefaultsFunc || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			rt := fd.Recv.List[0].Type
+			if star, ok := rt.(*ast.StarExpr); ok {
+				rt = star.X
+			}
+			if id, ok := rt.(*ast.Ident); !ok || id.Name != w.Name {
+				continue
+			}
+			if len(fd.Recv.List[0].Names) != 1 {
+				continue
+			}
+			recvObj := pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					// Peel trailing selectors/indexes down to the
+					// `recv.Field` root.
+					e := ast.Unparen(lhs)
+					for {
+						sel, ok := e.(*ast.SelectorExpr)
+						if !ok {
+							if idx, ok := e.(*ast.IndexExpr); ok {
+								e = idx.X
+								continue
+							}
+							break
+						}
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pkg.Info.Uses[id] == recvObj && recvObj != nil {
+							covered[sel.Sel.Name] = true
+							break
+						}
+						e = sel.X
+					}
+				}
+				return true
+			})
+		}
+	}
+	return covered
+}
+
+func fieldJSONTag(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw := strings.Trim(field.Tag.Value, "`")
+	return reflect.StructTag(raw).Get("json")
+}
+
+func tagHasOmitempty(tag string) bool {
+	parts := strings.Split(tag, ",")
+	for _, p := range parts[1:] {
+		if p == "omitempty" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ZoneWrite holds zone.For kernel closures to the disjoint-write contract
+// (DESIGN §10): a kernel fn(worker, lo, hi) may write captured state only
+// at slots its own [lo, hi) range owns, or per-worker scratch indexed by
+// the worker parameter — that structural property is the whole determinism
+// argument for intra-sim parallelism.
+//
+// The check is a conservative escape analysis over the closure literal:
+//
+//   - assignments to a captured scalar (x = …, x += …, x++) are shared
+//     writes — flagged;
+//   - stores into a captured map are flagged regardless of key (Go maps
+//     are not safe for concurrent writers even at distinct keys);
+//   - indexed stores (s[i] = …, t.rows[i][j] = …) are allowed only when
+//     the first index is the induction variable of a `for i := lo; i < hi;
+//     i++` loop over the closure's own range, or the worker parameter
+//     (per-worker scratch);
+//   - variables declared inside the closure are its own — never flagged.
+//
+// Mutation through method calls or passed pointers is beyond a local
+// analysis and intentionally not flagged; the annotation mechanism
+// (//repolint:allow zonewrite <reason>) covers kernels whose safety
+// argument lives outside these shapes.
+var ZoneWrite = &Analyzer{
+	Name: "zonewrite",
+	Doc:  "zone.For kernels must write captured state only inside their [lo,hi) range",
+	Run:  runZoneWrite,
+}
+
+func runZoneWrite(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || !isZoneFor(pass.Cfg, fn) || len(call.Args) != 3 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+			if !ok {
+				return true // a named kernel func is opaque here; annotate it
+			}
+			checkKernel(pass, lit)
+			return true
+		})
+	}
+}
+
+func isZoneFor(cfg *Config, fn *types.Func) bool {
+	for _, ref := range cfg.ZoneFor {
+		if fn.Pkg().Path() == ref.Path && fn.Name() == ref.Name {
+			return true
+		}
+	}
+	return false
+}
+
+func checkKernel(pass *Pass, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+	params := lit.Type.Params
+	if params == nil || params.NumFields() == 0 {
+		return
+	}
+	var names []*ast.Ident
+	for _, field := range params.List {
+		names = append(names, field.Names...)
+	}
+	if len(names) != 3 {
+		return
+	}
+	workerObj := info.Defs[names[0]]
+	loObj := info.Defs[names[1]]
+	hiObj := info.Defs[names[2]]
+
+	// Induction variables of `for i := lo; i < hi; i++` loops (and the
+	// same shape with <=, or swapped comparison) own the range.
+	bounded := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Init == nil || fs.Cond == nil {
+			return true
+		}
+		init, ok := fs.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+			return true
+		}
+		iv, ok := init.Lhs[0].(*ast.Ident)
+		if !ok || identObj(info, init.Rhs[0]) == nil || identObj(info, init.Rhs[0]) != loObj {
+			return true
+		}
+		cond, ok := fs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.LSS {
+			return true
+		}
+		cl, ok := ast.Unparen(cond.X).(*ast.Ident)
+		if !ok || info.Uses[cl] != info.Defs[iv] || identObj(info, cond.Y) != hiObj {
+			return true
+		}
+		bounded[info.Defs[iv]] = true
+		return true
+	})
+
+	captured := func(id *ast.Ident) bool {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+	}
+	okIndex := func(e ast.Expr) bool {
+		obj := identObj(info, e)
+		if obj == nil {
+			return false
+		}
+		return bounded[obj] || (workerObj != nil && obj == workerObj) || obj == loObj
+	}
+
+	checkWrite := func(lhs ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		base := baseIdent(lhs)
+		if base == nil || base.Name == "_" || !captured(base) {
+			return
+		}
+		switch x := lhs.(type) {
+		case *ast.Ident:
+			pass.Reportf(lhs.Pos(), "zone.For kernel writes captured variable %s: a shared write breaks the disjoint-write contract (DESIGN §10); use per-worker scratch or reduce after the barrier", x.Name)
+			return
+		case *ast.StarExpr:
+			pass.Reportf(lhs.Pos(), "zone.For kernel writes through captured pointer %s; ownership of the target cannot be verified (DESIGN §10)", types.ExprString(x.X))
+			return
+		case *ast.SelectorExpr:
+			pass.Reportf(lhs.Pos(), "zone.For kernel writes captured field %s: a shared write breaks the disjoint-write contract (DESIGN §10)", types.ExprString(lhs))
+			return
+		case *ast.IndexExpr:
+			// Map store? Concurrent map writes are unsafe at any key.
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(lhs.Pos(), "zone.For kernel stores into captured map %s; maps are unsafe under concurrent writers at any key (DESIGN §10)", types.ExprString(x.X))
+					return
+				}
+			}
+			// Indexed store: the first (deepest) index selects the owned
+			// slot and must be range-bound or the worker parameter.
+			idx := firstIndex(lhs)
+			if idx != nil && okIndex(idx) {
+				return
+			}
+			pass.Reportf(lhs.Pos(), "zone.For kernel writes %s outside its [lo,hi) range: the first index must be the range induction variable or the worker parameter (DESIGN §10)", types.ExprString(lhs))
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true // new locals are the kernel's own
+			}
+			for _, l := range s.Lhs {
+				checkWrite(l)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(s.X)
+		case *ast.FuncLit:
+			if s != lit {
+				return false // nested closures are their own scope; zone.For inside them re-checks
+			}
+		}
+		return true
+	})
+}
+
+// firstIndex returns the index expression of the deepest IndexExpr in the
+// selector/index chain — the first subscript applied to the base.
+func firstIndex(e ast.Expr) ast.Expr {
+	var idx ast.Expr
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			idx = x.Index
+			e = x.X
+		default:
+			return idx
+		}
+	}
+}

@@ -453,19 +453,22 @@ func TestComputeDeterministic(t *testing.T) {
 func TestOutOfRangePanics(t *testing.T) {
 	f := gridField(t, 4, 5, 12)
 	tbl := Compute(BuildGraph(f), 2)
-	for name, fn := range map[string]func(){
-		"Routes":         func() { tbl.Routes(9, 0) },
-		"Cost":           func() { tbl.Cost(0, -1) },
-		"NodeBroadcasts": func() { tbl.NodeBroadcasts(7) },
-		"GraphNeighbors": func() { BuildGraph(f).Neighbors(11) },
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Routes", func() { tbl.Routes(9, 0) }},
+		{"Cost", func() { tbl.Cost(0, -1) }},
+		{"NodeBroadcasts", func() { tbl.NodeBroadcasts(7) }},
+		{"GraphNeighbors", func() { BuildGraph(f).Neighbors(11) }},
 	} {
-		t.Run(name, func(t *testing.T) {
+		t.Run(tc.name, func(t *testing.T) {
 			defer func() {
 				if recover() == nil {
 					t.Fatal("expected panic")
 				}
 			}()
-			fn()
+			tc.fn()
 		})
 	}
 }

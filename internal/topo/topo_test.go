@@ -294,18 +294,21 @@ func TestChainField(t *testing.T) {
 
 func TestOutOfRangeIDPanics(t *testing.T) {
 	f := mustGrid(t, 4, 5, radio.MICA2())
-	for _, fn := range map[string]func(){
-		"Pos":  func() { f.Pos(99) },
-		"Dist": func() { f.Dist(0, -3) },
-		"Zone": func() { f.ZoneNeighbors(4) },
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Pos", func() { f.Pos(99) }},
+		{"Dist", func() { f.Dist(0, -3) }},
+		{"Zone", func() { f.ZoneNeighbors(4) }},
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Fatal("out-of-range id should panic")
+					t.Fatalf("%s: out-of-range id should panic", tc.name)
 				}
 			}()
-			fn()
+			tc.fn()
 		}()
 	}
 }

@@ -210,6 +210,7 @@ func ClusterHeads(f *topo.Field) map[packet.NodeID]packet.NodeID {
 		members[k] = append(members[k], id)
 	}
 	heads := make(map[packet.NodeID]packet.NodeID, f.N())
+	//repolint:allow maporder cells partition the id space, so each node is written exactly once from its own cell; the final map is identical for every visit order
 	for k, ids := range members {
 		centerX := bounds.Min.X + (float64(k.cx)+0.5)*cell
 		centerY := bounds.Min.Y + (float64(k.cy)+0.5)*cell

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"sort"
 	"testing"
 	"time"
 
@@ -156,8 +157,14 @@ func TestClusterHeadsCoverAllNodes(t *testing.T) {
 	if len(heads) != 169 {
 		t.Fatalf("heads map covers %d nodes, want 169", len(heads))
 	}
+	nodes := make([]packet.NodeID, 0, len(heads))
+	for node := range heads {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	distinct := make(map[packet.NodeID]bool)
-	for node, h := range heads {
+	for _, node := range nodes {
+		h := heads[node]
 		distinct[h] = true
 		// A head leads its own cluster.
 		if heads[h] != h {
