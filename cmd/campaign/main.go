@@ -6,17 +6,30 @@
 //
 // Usage:
 //
-//	campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate] [-progress] [-debug-addr ADDR]
+//	campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate] [-progress] [-debug-addr ADDR] [-checkpoint DIR] [-resume] [-cache DIR] [-retries N] [-retry-backoff DUR]
 //	campaign expand <spec.json>
 //	campaign validate <spec.json>
 //
 // `run` streams JSONL to stdout by default; -jsonl/-csv redirect to files
-// ("-" means stdout, at most one sink may claim it). `expand` prints the
-// expanded grid without simulating; `validate` just checks the spec.
-// -replications overrides the spec's replication count; above 1 the sinks
-// emit aggregate records (mean/std/CI per metric across seed-derived
-// trials), and -per-replicate additionally streams every trial's own
-// JSONL record.
+// ("-" means stdout, at most one sink may claim it). File outputs stream
+// to <path>.partial and are renamed into place only when the run completes
+// cleanly, so the existence of the final name certifies a full result set.
+// `expand` prints the expanded grid without simulating; `validate` just
+// checks the spec. -replications overrides the spec's replication count;
+// above 1 the sinks emit aggregate records (mean/std/CI per metric across
+// seed-derived trials), and -per-replicate additionally streams every
+// trial's own JSONL record.
+//
+// Crash safety (internal/checkpoint, DESIGN.md §13): -checkpoint DIR
+// journals every finished point (fsynced, write-ahead of the sinks) to
+// DIR/journal.jsonl; after a crash or interrupt, the same invocation plus
+// -resume replays the journaled prefix and executes only the missing
+// points — output byte-identical to an uninterrupted run. -cache DIR
+// shares finished points across campaigns by canonical scenario hash.
+// -retries N re-executes failed trials (same seed — deterministic) with
+// exponential backoff starting at -retry-backoff. SIGINT/SIGTERM drains
+// the in-flight points, journals them, and prints the exact resume
+// command; a second signal exits immediately.
 //
 // Live telemetry (internal/obs): -progress prints a heartbeat line to
 // stderr every second (points done/total, completion rate, ETA, in-flight
@@ -28,18 +41,26 @@
 //
 //	campaign run examples/campaigns/fig8.json -parallel 4
 //	campaign run examples/campaigns/stress-1k.json -jsonl out.jsonl -csv out.csv
+//	campaign run examples/campaigns/stress-1k.json -jsonl out.jsonl -checkpoint ckpt/
+//	campaign run examples/campaigns/stress-1k.json -jsonl out.jsonl -checkpoint ckpt/ -resume
 //	campaign expand examples/campaigns/fig8.json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/checkpoint"
+	"repro/internal/experiment"
 	"repro/internal/obs"
 )
 
@@ -49,7 +70,7 @@ func main() {
 
 func usage() int {
 	fmt.Fprintf(os.Stderr, `usage:
-  campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate] [-progress] [-debug-addr ADDR]
+  campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate] [-progress] [-debug-addr ADDR] [-checkpoint DIR] [-resume] [-cache DIR] [-retries N] [-retry-backoff DUR]
   campaign expand <spec.json>
   campaign validate <spec.json>
 `)
@@ -105,7 +126,17 @@ func runCampaign(specPath string, args []string) int {
 	debugAddr := fs.String("debug-addr", "", `serve a debug/ops HTTP endpoint on this address (e.g. ":6060"): /debug/progress, /debug/vars (expvar), /debug/pprof`)
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	checkpointDir := fs.String("checkpoint", "", "journal every finished point to DIR/journal.jsonl so an interrupted run can -resume")
+	resume := fs.Bool("resume", false, "resume from the journal in -checkpoint: replay completed points, execute only the rest (output identical to an uninterrupted run)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory: finished points are reused across campaigns by scenario hash")
+	retries := fs.Int("retries", 0, "re-execute a failed trial up to N more times (same seed — deterministic)")
+	retryBackoff := fs.Duration("retry-backoff", 100*time.Millisecond, "wait before the first retry, doubling per attempt")
 	fs.Parse(args)
+
+	if *resume && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "campaign: -resume requires -checkpoint DIR")
+		return 2
+	}
 
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -155,48 +186,112 @@ func runCampaign(specPath string, args []string) int {
 		*jsonlPath = ""
 	}
 
+	// File outputs stream through a FileSink (<path>.partial, renamed on
+	// clean completion); stdout streams directly and needs no lifecycle.
 	var sinks []campaign.Sink
-	var closers []io.Closer
-	open := func(path string) (io.Writer, error) {
+	addSink := func(path string, build func(io.Writer) campaign.Sink) error {
 		if path == "-" {
-			return os.Stdout, nil
+			sinks = append(sinks, build(os.Stdout))
+			return nil
 		}
-		f, err := os.Create(path)
+		s, err := campaign.NewFileSink(path, build)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		closers = append(closers, f)
-		return f, nil
+		sinks = append(sinks, s)
+		return nil
 	}
 	if *jsonlPath != "" {
-		w, err := open(*jsonlPath)
+		err := addSink(*jsonlPath, func(w io.Writer) campaign.Sink {
+			s := campaign.NewJSONLSink(w)
+			s.PerReplicate = *perReplicate
+			return s
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 			return 1
 		}
-		sink := campaign.NewJSONLSink(w)
-		sink.PerReplicate = *perReplicate
-		sinks = append(sinks, sink)
 	}
 	if *csvPath != "" {
-		w, err := open(*csvPath)
+		if err := addSink(*csvPath, func(w io.Writer) campaign.Sink { return campaign.NewCSVSink(w) }); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			return 1
+		}
+	}
+
+	// Durability wiring: on -resume, replay and validate the journal before
+	// reopening it in append mode.
+	var journal *checkpoint.Journal
+	var completed map[int][]experiment.Result
+	if *checkpointDir != "" {
+		if *resume {
+			var err error
+			completed, err = c.LoadCheckpoint(*checkpointDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+				return 1
+			}
+			if len(completed) > 0 {
+				fmt.Fprintf(os.Stderr, "campaign: resuming %q: %d/%d points from %s\n",
+					c.Spec.Name, len(completed), len(c.Points), checkpoint.JournalPath(*checkpointDir))
+			}
+		}
+		var err error
+		journal, err = checkpoint.OpenJournal(*checkpointDir, *resume)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 			return 1
 		}
-		sinks = append(sinks, campaign.NewCSVSink(w))
+		defer journal.Close()
 	}
-
-	start := time.Now()
-	_, err = c.Run(campaign.RunOptions{Workers: *parallel, Sinks: sinks, SimWorkers: *simWorkers, Progress: progress})
-	stopHeartbeat()
-	for _, cl := range closers {
-		if cerr := cl.Close(); err == nil && cerr != nil {
-			err = cerr
+	var cache *checkpoint.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = checkpoint.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			return 1
 		}
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM closes Cancel — workers
+	// drain (and journal) the in-flight points, sinks are aborted leaving
+	// .partial files, and the exact resume command is printed. A second
+	// signal exits immediately.
+	cancel := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "campaign: received %v; draining in-flight points (signal again to exit immediately)\n", s)
+		close(cancel)
+		<-sigc
+		fmt.Fprintln(os.Stderr, "campaign: second signal; exiting without drain")
+		os.Exit(130)
+	}()
+
+	start := time.Now()
+	_, err = c.Run(campaign.RunOptions{
+		Workers:    *parallel,
+		Sinks:      sinks,
+		SimWorkers: *simWorkers,
+		Progress:   progress,
+		Retry:      campaign.RetryPolicy{Max: *retries, Backoff: *retryBackoff},
+		Journal:    journal,
+		Completed:  completed,
+		Cache:      cache,
+		Cancel:     cancel,
+	})
+	stopHeartbeat()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		if *checkpointDir != "" {
+			fmt.Fprintf(os.Stderr, "campaign: resume with:\n  %s\n", resumeCommand(specPath, args))
+		}
+		if errors.Is(err, experiment.ErrCancelled) {
+			return 130
+		}
 		return 1
 	}
 	if reps := c.Replications(); reps > 1 {
@@ -207,6 +302,20 @@ func runCampaign(specPath string, args []string) int {
 			c.Spec.Name, len(c.Points), len(c.AxisNames), time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// resumeCommand reconstructs the invocation that continues an interrupted
+// checkpointed run: the original arguments plus -resume (if not already
+// present).
+func resumeCommand(specPath string, args []string) string {
+	cmd := append([]string{os.Args[0], "run", specPath}, args...)
+	for _, a := range args {
+		trimmed := strings.TrimLeft(a, "-")
+		if trimmed == "resume" || strings.HasPrefix(trimmed, "resume=") {
+			return strings.Join(cmd, " ")
+		}
+	}
+	return strings.Join(append(cmd, "-resume"), " ")
 }
 
 // startProfiles arms the requested pprof outputs and returns the teardown

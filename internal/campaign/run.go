@@ -7,15 +7,38 @@
 // contract. Unreplicated points flow to Sink.Point exactly as before;
 // replicated points (spec replications > 1) flow to Sink.Aggregate with
 // their full replicate vector and per-metric statistics.
+//
+// The runner is also the crash-safety seam (DESIGN.md §13): points
+// already finished by a previous run (Completed, from a checkpoint
+// journal) or by any previous campaign (Cache) replay into the sinks
+// without re-execution, every freshly finished point is journaled
+// write-ahead of its sink delivery, failed trials re-execute under the
+// retry policy, and a closed Cancel channel drains in-flight points and
+// aborts the sinks instead of finalizing them.
 package campaign
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiment"
 	"repro/internal/obs"
 )
+
+// RetryPolicy re-executes transiently failed trials. A retried trial runs
+// the identical scenario — same derived seed — so a retry that succeeds
+// produces the exact bytes the first attempt would have; the retry count
+// is an execution knob, never part of scenario identity.
+type RetryPolicy struct {
+	// Max is the number of re-executions after the first attempt; zero
+	// disables retry.
+	Max int
+	// Backoff is the wait before the first retry, doubling per attempt
+	// (attempt n waits Backoff·2ⁿ⁻¹). Zero retries immediately.
+	Backoff time.Duration
+}
 
 // RunOptions configures campaign execution.
 type RunOptions struct {
@@ -24,8 +47,9 @@ type RunOptions struct {
 	// parallelizes across points × replications.
 	Workers int
 	// Sinks receive every finished point in index order. The runner calls
-	// Begin before the first point and Close after the last, including on
-	// failure (to flush partial output).
+	// Begin before the first point, then exactly one of Close (clean
+	// completion — finalize) or Abort (failure or cancellation — flush
+	// but do not finalize) per sink.
 	Sinks []Sink
 	// Run overrides the per-trial executor (tests); nil means
 	// experiment.Run.
@@ -42,6 +66,34 @@ type RunOptions struct {
 	// flush). It feeds the -progress heartbeat and the /debug/progress
 	// endpoint; like SimWorkers it never affects sink output.
 	Progress *obs.CampaignProgress
+
+	// Retry re-executes failed trials (Max > 0 enables it). Deterministic:
+	// a retried trial reruns the identical scenario and seed.
+	Retry RetryPolicy
+	// Sleep overrides the retry backoff sleeper (tests); nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+
+	// Journal, when non-nil, durably records every finished point BEFORE
+	// any sink observes it — the write-ahead contract that makes a killed
+	// run resumable from its journal. Points replayed via Completed are
+	// not re-journaled (their records are already in the journal being
+	// resumed); cache-served points are.
+	Journal *checkpoint.Journal
+	// Completed maps point index → replicate vector finished by a previous
+	// run of this campaign (from LoadCheckpoint). Completed points replay
+	// into the sinks without re-execution, so a resumed run's sink output
+	// is byte-identical to an uninterrupted one.
+	Completed map[int][]experiment.Result
+	// Cache, when non-nil, is consulted before executing each remaining
+	// point and updated after each fresh completion — cross-campaign reuse
+	// keyed by canonical scenario hash.
+	Cache *checkpoint.Cache
+
+	// Cancel, when non-nil, requests a graceful stop when closed: workers
+	// finish (and journal) the points already in flight, claim nothing
+	// new, sinks are aborted, and Run returns experiment.ErrCancelled.
+	Cancel <-chan struct{}
 }
 
 // Run executes every trial and returns the per-point replicate vectors in
@@ -49,14 +101,20 @@ type RunOptions struct {
 // slice for unreplicated campaigns. Sinks have already received the full
 // stream when it returns a nil error.
 func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
+	abortSinks := func() error {
+		var err error
+		for _, s := range opts.Sinks {
+			err = errors.Join(err, s.Abort())
+		}
+		return err
+	}
 	for i, s := range opts.Sinks {
 		if err := s.Begin(c); err != nil {
-			// Close every sink through the failing one: its Begin may have
+			// Abort every sink through the failing one: its Begin may have
 			// buffered partial output (e.g. a CSV header) that must be
-			// flushed — the documented "Close after the last, including on
-			// failure" contract.
+			// flushed, but nothing may be finalized.
 			for _, begun := range opts.Sinks[:i+1] {
-				begun.Close()
+				begun.Abort()
 			}
 			return nil, err
 		}
@@ -67,6 +125,61 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 		scenarios[i] = p.Scenario
 	}
 	replicated := c.Replications() > 1
+	reps := c.Replications()
+
+	// Canonical hashes are only needed when some durability layer is on.
+	var hashes []string
+	if opts.Journal != nil || opts.Cache != nil {
+		hashes = make([]string, len(c.Points))
+		for i, sc := range scenarios {
+			h, err := experiment.ScenarioHash(sc)
+			if err != nil {
+				return nil, errors.Join(fmt.Errorf("campaign %q: hash point %d: %w", c.Spec.Name, i, err), abortSinks())
+			}
+			hashes[i] = h
+		}
+	}
+
+	results := make([][]experiment.Result, len(c.Points))
+	done := make([]bool, len(c.Points))
+
+	// Replay the journaled prefix of a resumed run. LoadCheckpoint already
+	// validated indices, hashes, and vector lengths.
+	for i := range c.Points {
+		if rs, ok := opts.Completed[i]; ok {
+			results[i] = rs
+			done[i] = true
+			opts.Progress.PointResumed(i)
+		}
+	}
+
+	// Serve remaining points from the cross-campaign cache. Hits are
+	// journaled up front, in index order, still write-ahead of the sinks.
+	if opts.Cache != nil {
+		for i := range c.Points {
+			if done[i] {
+				continue
+			}
+			rs, hit, err := opts.Cache.Get(hashes[i])
+			if err != nil {
+				return nil, errors.Join(fmt.Errorf("campaign %q: %w", c.Spec.Name, err), abortSinks())
+			}
+			if !hit || len(rs) != reps {
+				// A vector of the wrong length under a hash that encodes
+				// the replication count is a damaged entry: a miss.
+				continue
+			}
+			if opts.Journal != nil {
+				rec := checkpoint.Record{Index: i, Hash: hashes[i], Results: rs}
+				if err := opts.Journal.Append(rec); err != nil {
+					return nil, errors.Join(fmt.Errorf("campaign %q: %w", c.Spec.Name, err), abortSinks())
+				}
+			}
+			results[i] = rs
+			done[i] = true
+			opts.Progress.PointCached(i)
+		}
+	}
 
 	// Ordered streaming: OnPoint calls are serialized by the sweep, so
 	// this state needs no lock of its own. A sink error propagates back
@@ -74,9 +187,7 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	// remaining points simulate into a dead sink.
 	pending := make(map[int][]experiment.Result)
 	next := 0
-	onPoint := func(i int, _ experiment.Scenario, reps []experiment.Result) error {
-		opts.Progress.PointDone(i)
-		pending[i] = reps
+	flush := func() error {
 		for {
 			rs, ok := pending[next]
 			if !ok {
@@ -98,35 +209,163 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 		}
 	}
 
+	// Feed the sinks the already-done prefix (and any already-done islands
+	// the sweep will flush as execution fills the gaps between them).
+	for i := range c.Points {
+		if done[i] {
+			pending[i] = results[i]
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, errors.Join(err, abortSinks())
+	}
+
+	// What remains executes through the sweep; todo[k] maps the sweep's
+	// point index k back to the campaign's point index.
+	var todo []int
+	for i := range c.Points {
+		if !done[i] {
+			todo = append(todo, i)
+		}
+	}
+	todoScenarios := make([]experiment.Scenario, len(todo))
+	for k, i := range todo {
+		todoScenarios[k] = scenarios[i]
+	}
+
+	onPoint := func(k int, _ experiment.Scenario, rs []experiment.Result) error {
+		i := todo[k]
+		opts.Progress.PointDone(i)
+		// Write-ahead: the journal record must be durable before any sink
+		// observes the point, so a crash after partial sink output always
+		// finds the point in the journal on resume.
+		if opts.Journal != nil {
+			rec := checkpoint.Record{Index: i, Hash: hashes[i], Results: rs}
+			if err := opts.Journal.Append(rec); err != nil {
+				return err
+			}
+		}
+		if opts.Cache != nil {
+			if err := opts.Cache.Put(hashes[i], rs); err != nil {
+				return err
+			}
+		}
+		results[i] = rs
+		pending[i] = rs
+		return flush()
+	}
+
 	runFn := opts.Run
-	if runFn == nil && opts.SimWorkers > 1 {
+	if runFn == nil {
 		cfg := experiment.RunConfig{SimWorkers: opts.SimWorkers}
 		runFn = func(sc experiment.Scenario) (experiment.Result, error) {
 			return experiment.RunWith(sc, cfg)
 		}
 	}
+	if opts.Retry.Max > 0 {
+		runFn = withRetry(runFn, opts.Retry, opts.Sleep, opts.Cancel, opts.Progress)
+	}
 
 	var onStart func(int)
 	if opts.Progress != nil {
-		onStart = opts.Progress.PointStarted
+		onStart = func(k int) { opts.Progress.PointStarted(todo[k]) }
 	}
-	results, err := experiment.ReplicatedSweep{
-		Points:  scenarios,
+	_, err := experiment.ReplicatedSweep{
+		Points:  todoScenarios,
 		Run:     runFn,
 		Workers: opts.Workers,
 		OnStart: onStart,
 		OnPoint: onPoint,
+		Cancel:  opts.Cancel,
 	}.Execute()
+	if err != nil {
+		return nil, errors.Join(fmt.Errorf("campaign %q: %w", c.Spec.Name, err), abortSinks())
+	}
 
 	var closeErr error
 	for _, s := range opts.Sinks {
 		closeErr = errors.Join(closeErr, s.Close())
 	}
-	if err != nil {
-		return nil, fmt.Errorf("campaign %q: %w", c.Spec.Name, err)
-	}
 	if closeErr != nil {
 		return nil, closeErr
 	}
 	return results, nil
+}
+
+// withRetry wraps a trial executor with the retry policy: up to policy.Max
+// re-executions of the identical scenario, exponential backoff between
+// attempts, stopping early once cancel closes (a graceful shutdown should
+// not sit out backoff waits re-running a doomed trial).
+func withRetry(run func(experiment.Scenario) (experiment.Result, error), policy RetryPolicy, sleep func(time.Duration), cancel <-chan struct{}, progress *obs.CampaignProgress) func(experiment.Scenario) (experiment.Result, error) {
+	if sleep == nil {
+		//repolint:allow detsource backoff between retry attempts is a wall-clock wait by definition; it delays execution but never alters results
+		sleep = time.Sleep
+	}
+	cancelled := func() bool {
+		if cancel == nil {
+			return false
+		}
+		select {
+		case <-cancel:
+			return true
+		default:
+			return false
+		}
+	}
+	// Recover per ATTEMPT, not per point: a panicking first attempt
+	// becomes an ordinary error the loop can retry.
+	run = experiment.Recovered(run)
+	return func(sc experiment.Scenario) (experiment.Result, error) {
+		var lastErr error
+		for attempt := 0; ; attempt++ {
+			res, err := run(sc)
+			if err == nil {
+				return res, nil
+			}
+			lastErr = err
+			if attempt >= policy.Max || cancelled() {
+				return experiment.Result{}, fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
+			}
+			if policy.Backoff > 0 {
+				sleep(policy.Backoff << attempt)
+			}
+			progress.TrialRetried()
+		}
+	}
+}
+
+// LoadCheckpoint replays the journal in dir and validates every record
+// against this campaign's grid: the index must be inside the grid, the
+// record's scenario hash must match the point at that index (a journal
+// can never resume a campaign it does not belong to), and the replicate
+// vector must be full. It returns the completed map for RunOptions; a
+// missing journal is an empty history. Duplicate indices keep the later
+// record — a cache-refresh overwrite, not an error.
+func (c *Campaign) LoadCheckpoint(dir string) (map[int][]experiment.Result, error) {
+	recs, err := checkpoint.LoadJournal(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	reps := c.Replications()
+	completed := make(map[int][]experiment.Result, len(recs))
+	for _, r := range recs {
+		if r.Index < 0 || r.Index >= len(c.Points) {
+			return nil, fmt.Errorf("campaign %q: journal record index %d outside the %d-point grid — wrong campaign or edited spec", c.Spec.Name, r.Index, len(c.Points))
+		}
+		want, err := experiment.ScenarioHash(c.Points[r.Index].Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("campaign %q: hash point %d: %w", c.Spec.Name, r.Index, err)
+		}
+		if r.Hash != want {
+			return nil, fmt.Errorf("campaign %q: journal record for point %d carries scenario hash %s, grid expects %s — the journal belongs to a different campaign", c.Spec.Name, r.Index, r.Hash, want)
+		}
+		if len(r.Results) != reps {
+			return nil, fmt.Errorf("campaign %q: journal record for point %d has %d replicates, grid expects %d", c.Spec.Name, r.Index, len(r.Results), reps)
+		}
+		completed[r.Index] = r.Results
+	}
+	return completed, nil
 }

@@ -144,12 +144,12 @@ func TestRunSinkErrorAborts(t *testing.T) {
 	}
 }
 
-// TestRunBeginFailureClosesBegunSinks checks the documented "Close after
-// the last, including on failure" contract: when sink i's Begin fails,
-// Close is called on every begun-or-failed sink — the earlier sinks AND
-// the failing one (whose Begin may have buffered a partial CSV header) —
-// and never on sinks that were not reached.
-func TestRunBeginFailureClosesBegunSinks(t *testing.T) {
+// TestRunBeginFailureAbortsBegunSinks checks the failure-path contract:
+// when sink i's Begin fails, Abort — flush, never finalize — is called on
+// every begun-or-failed sink (the earlier sinks AND the failing one,
+// whose Begin may have buffered a partial CSV header), Close on none, and
+// unreached sinks are untouched.
+func TestRunBeginFailureAbortsBegunSinks(t *testing.T) {
 	c, err := Expand(gridSpec(t))
 	if err != nil {
 		t.Fatalf("Expand: %v", err)
@@ -161,14 +161,14 @@ func TestRunBeginFailureClosesBegunSinks(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "begin boom") {
 		t.Fatalf("err = %v, want begin error", err)
 	}
-	if !mem.Closed {
-		t.Fatal("first sink not closed after second sink's Begin failed")
+	if !mem.Aborted || mem.Closed {
+		t.Fatalf("first sink aborted=%v closed=%v after second sink's Begin failed, want aborted only", mem.Aborted, mem.Closed)
 	}
-	if !failing.closed {
-		t.Fatal("failing sink not closed — its buffered Begin output is never flushed")
+	if !failing.aborted {
+		t.Fatal("failing sink not aborted — its buffered Begin output is never flushed")
 	}
-	if after.Closed {
-		t.Fatal("unreached sink closed despite its Begin never running")
+	if after.Aborted || after.Closed {
+		t.Fatal("unreached sink touched despite its Begin never running")
 	}
 	if len(mem.Points) != 0 {
 		t.Fatalf("points streamed despite Begin failure: %d", len(mem.Points))
@@ -193,12 +193,13 @@ func TestRunCSVBeginFailureFlushesHeader(t *testing.T) {
 	}
 }
 
-type beginFailingSink struct{ closed bool }
+type beginFailingSink struct{ aborted bool }
 
 func (s *beginFailingSink) Begin(*Campaign) error                { return fmt.Errorf("begin boom") }
 func (s *beginFailingSink) Point(Point, experiment.Result) error { return nil }
 func (s *beginFailingSink) Aggregate(Point, Aggregate) error     { return nil }
-func (s *beginFailingSink) Close() error                         { s.closed = true; return nil }
+func (s *beginFailingSink) Close() error                         { return nil }
+func (s *beginFailingSink) Abort() error                         { s.aborted = true; return nil }
 
 type failingSink struct {
 	failAt int
@@ -215,6 +216,7 @@ func (s *failingSink) Point(Point, experiment.Result) error {
 }
 func (s *failingSink) Aggregate(p Point, agg Aggregate) error { return s.Point(p, experiment.Result{}) }
 func (s *failingSink) Close() error                           { return nil }
+func (s *failingSink) Abort() error                           { return nil }
 
 // replicatedSpec is gridSpec plus three seed-derived replications per
 // point.

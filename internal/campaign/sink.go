@@ -19,16 +19,21 @@ import (
 )
 
 // Sink consumes finished campaign points in index order. Begin is called
-// once before any point, Close once after the last (also on failure, to
-// flush what was written). Exactly one of Point and Aggregate fires per
+// once before any point. Exactly one of Point and Aggregate fires per
 // point: Point for unreplicated campaigns (replications <= 1, the
 // pre-replication record formats byte for byte), Aggregate when the
-// campaign replicates (replications > 1).
+// campaign replicates (replications > 1). The stream ends with exactly one
+// of Close or Abort: Close after the last point of a completed run
+// (finalize — flush, and for file-backed sinks publish the output); Abort
+// when the run failed or was cancelled (flush what was written, but do NOT
+// finalize — a file-backed sink leaves its .partial file in place so an
+// interrupted run can never be mistaken for a finished one).
 type Sink interface {
 	Begin(c *Campaign) error
 	Point(p Point, res experiment.Result) error
 	Aggregate(p Point, agg Aggregate) error
 	Close() error
+	Abort() error
 }
 
 // Aggregate is the statistics record of one replicated point: the raw
@@ -135,6 +140,10 @@ func (s *JSONLSink) Aggregate(p Point, agg Aggregate) error {
 
 // Close is a no-op; the caller owns the writer.
 func (s *JSONLSink) Close() error { return nil }
+
+// Abort is a no-op: every record was written unbuffered, and the caller
+// owns the writer.
+func (s *JSONLSink) Abort() error { return nil }
 
 // metricsJSON renders per-metric summaries as a JSON object in canonical
 // metric order (json.Marshal of a map would sort keys alphabetically).
@@ -256,6 +265,11 @@ func (s *CSVSink) Close() error {
 	return nil
 }
 
+// Abort flushes buffered rows, same as Close — the csv.Writer buffers, and
+// an interrupted run's flushed prefix is what makes its partial output
+// inspectable. Finalization (if any) is the wrapping FileSink's job.
+func (s *CSVSink) Abort() error { return s.Close() }
+
 func gf(v float64) string        { return strconv.FormatFloat(v, 'g', -1, 64) }
 func u64(v uint64) string        { return strconv.FormatUint(v, 10) }
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -279,6 +293,7 @@ type MemorySink struct {
 	Points     []PointResult
 	Aggregates []PointAggregate
 	Closed     bool
+	Aborted    bool
 }
 
 // Begin records the campaign.
@@ -302,5 +317,11 @@ func (s *MemorySink) Aggregate(p Point, agg Aggregate) error {
 // Close marks the stream complete.
 func (s *MemorySink) Close() error {
 	s.Closed = true
+	return nil
+}
+
+// Abort marks the stream interrupted.
+func (s *MemorySink) Abort() error {
+	s.Aborted = true
 	return nil
 }

@@ -1,0 +1,102 @@
+// cache.go is the content-addressed result cache: canonical scenario hash
+// → finished replicate vector, one JSON file per hash. Because the key is
+// the hash of the fully-defaulted scenario (replications included), any
+// campaign whose grid contains an equivalent point — a re-run of a golden
+// campaign, an overlapping sweep, a resumed shard — reuses the finished
+// result instead of resimulating it, across processes and across
+// campaigns. Entries are published atomically (temp file + rename), so
+// concurrent campaigns sharing a cache directory can only ever observe
+// complete entries.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+)
+
+// Cache is a directory of content-addressed finished points.
+type Cache struct {
+	dir string
+}
+
+// cacheEntry is the stored form of one finished point. The hash is
+// repeated inside the file so an entry is self-describing and a mangled
+// filename cannot silently serve the wrong results.
+type cacheEntry struct {
+	Hash    string              `json:"scenarioHash"`
+	Results []experiment.Result `json:"results"`
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entryPath maps a hash to its file, rejecting anything that is not a
+// plain lowercase-hex name (the hash is used as a path component; this
+// keeps a corrupted caller from escaping the cache directory).
+func (c *Cache) entryPath(hash string) (string, error) {
+	if len(hash) != 64 {
+		return "", fmt.Errorf("checkpoint: cache key %q is not a sha256 hex digest", hash)
+	}
+	for _, ch := range hash {
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return "", fmt.Errorf("checkpoint: cache key %q is not a sha256 hex digest", hash)
+		}
+	}
+	return filepath.Join(c.dir, hash+".json"), nil
+}
+
+// Get returns the cached replicate vector for hash, if present. A missing
+// entry is an ordinary miss. A present-but-unreadable entry (torn by an
+// ancient crash, hand-edited, wrong self-described hash) is also treated
+// as a miss — the cache's contract is "may remember, never lies", and a
+// subsequent Put overwrites the damage — but genuine I/O errors surface.
+func (c *Cache) Get(hash string) ([]experiment.Result, bool, error) {
+	path, err := c.entryPath(hash)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("checkpoint: cache read: %w", err)
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Hash != hash || len(e.Results) == 0 {
+		return nil, false, nil
+	}
+	return e.Results, true, nil
+}
+
+// Put durably stores the replicate vector for hash, atomically replacing
+// any previous entry.
+func (c *Cache) Put(hash string, results []experiment.Result) error {
+	path, err := c.entryPath(hash)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("checkpoint: refusing to cache empty replicate vector for %s", hash)
+	}
+	data, err := json.Marshal(&cacheEntry{Hash: hash, Results: results})
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal cache entry: %w", err)
+	}
+	if err := writeFileAtomic(path, append(data, '\n')); err != nil {
+		return fmt.Errorf("checkpoint: cache write: %w", err)
+	}
+	return nil
+}

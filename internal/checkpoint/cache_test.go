@@ -1,0 +1,107 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestCacheRoundTrip stores and retrieves a replicate vector.
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	if _, ok, err := c.Get(hashA); ok || err != nil {
+		t.Fatalf("Get(empty) = hit=%v err=%v, want clean miss", ok, err)
+	}
+	want := []experiment.Result{{TotalEnergy: 1.5, Items: 3}, {TotalEnergy: 2.5, Items: 3}}
+	if err := c.Put(hashA, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := c.Get(hashA)
+	if err != nil || !ok {
+		t.Fatalf("Get = hit=%v err=%v, want hit", ok, err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Get = %+v, want %+v", got, want)
+	}
+	// A different hash stays a miss.
+	if _, ok, _ := c.Get(hashB); ok {
+		t.Fatal("Get(other hash) hit")
+	}
+}
+
+// TestCacheRejectsBadKeys: only sha256 hex digests may name entries — the
+// key is a path component.
+func TestCacheRejectsBadKeys(t *testing.T) {
+	c, _ := OpenCache(t.TempDir())
+	for _, bad := range []string{"", "short", "../../etc/passwd", strings.Repeat("Z", 64), strings.Repeat("a", 63) + "/"} {
+		if err := c.Put(bad, []experiment.Result{{}}); err == nil {
+			t.Errorf("Put(%q) accepted a non-digest key", bad)
+		}
+		if _, _, err := c.Get(bad); err == nil {
+			t.Errorf("Get(%q) accepted a non-digest key", bad)
+		}
+	}
+}
+
+// TestCacheCorruptEntryIsMiss: a mangled entry must read as a miss (the
+// cache may forget, never lie), and a Put must repair it.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCache(dir)
+	if err := os.WriteFile(filepath.Join(dir, hashA+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatalf("plant corrupt entry: %v", err)
+	}
+	if _, ok, err := c.Get(hashA); ok || err != nil {
+		t.Fatalf("Get(corrupt) = hit=%v err=%v, want clean miss", ok, err)
+	}
+	// An entry whose self-described hash disagrees with its filename is a
+	// lie, not a cache entry.
+	wrong := `{"scenarioHash":"` + hashB + `","results":[{"totalEnergy":1}]}`
+	os.WriteFile(filepath.Join(dir, hashA+".json"), []byte(wrong), 0o644)
+	if _, ok, _ := c.Get(hashA); ok {
+		t.Fatal("Get served an entry whose self-described hash mismatches")
+	}
+	if err := c.Put(hashA, []experiment.Result{{TotalEnergy: 9}}); err != nil {
+		t.Fatalf("Put over corrupt entry: %v", err)
+	}
+	got, ok, err := c.Get(hashA)
+	if err != nil || !ok || got[0].TotalEnergy != 9 {
+		t.Fatalf("repaired entry: hit=%v err=%v got=%+v", ok, err, got)
+	}
+}
+
+// TestCacheAtomicPublish: after a Put, no temporary files remain — entries
+// appear atomically or not at all.
+func TestCacheAtomicPublish(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCache(dir)
+	if err := c.Put(hashA, []experiment.Result{{Items: 1}}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Name() != hashA+".json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir holds %v, want exactly one published entry", names)
+	}
+}
+
+// TestCacheRefusesEmptyVector: an empty replicate vector can never be a
+// finished point.
+func TestCacheRefusesEmptyVector(t *testing.T) {
+	c, _ := OpenCache(t.TempDir())
+	if err := c.Put(hashA, nil); err == nil {
+		t.Fatal("Put(nil) accepted")
+	}
+}

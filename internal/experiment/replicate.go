@@ -69,6 +69,12 @@ type ReplicatedSweep struct {
 	// start per trial. Sweep.OnStart's concurrency caveats apply: calls
 	// are concurrent and must be cheap and safe.
 	OnStart func(point int)
+
+	// Cancel, when non-nil, requests a graceful stop when closed, with
+	// Sweep.Cancel's drain semantics. Because the unit of work is a trial,
+	// a cancelled sweep may finish some replicates of a point but not all;
+	// only fully-replicated points reach OnPoint.
+	Cancel <-chan struct{}
 }
 
 // Execute runs every trial through the pool and returns the per-point
@@ -108,6 +114,7 @@ func (s ReplicatedSweep) Execute() ([][]Result, error) {
 		Run:     s.Run,
 		Workers: s.Workers,
 		OnStart: onStart,
+		Cancel:  s.Cancel,
 		OnPoint: func(t int, _ Scenario, res Result) error {
 			ref := refs[t]
 			out[ref.point][ref.rep] = res

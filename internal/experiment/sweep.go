@@ -6,11 +6,48 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrCancelled is returned by Execute when the sweep's Cancel channel
+// closes before every point completes. Points already handed to OnPoint
+// are fully delivered; the error only says the grid was not finished.
+var ErrCancelled = errors.New("experiment: sweep cancelled")
+
+// PanicError is a per-trial panic recovered by the sweep workers: the
+// panicking value plus the goroutine stack at recovery. One bad trial
+// becomes one failed point instead of taking down the whole campaign
+// process; the stack travels in the error so the crash site survives into
+// logs and journals.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value followed by the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("trial panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Recovered wraps a trial executor so a panic surfaces as a *PanicError
+// return instead of unwinding the goroutine. The sweep applies it to every
+// executor; retry layers apply it themselves so each ATTEMPT recovers
+// independently (a panicking first attempt can be retried).
+func Recovered(run func(Scenario) (Result, error)) func(Scenario) (Result, error) {
+	return func(sc Scenario) (res Result, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				res, err = Result{}, &PanicError{Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return run(sc)
+	}
+}
 
 // Sweep is a declarative parallel scenario sweep: the points to execute and
 // the function that executes one of them.
@@ -42,6 +79,25 @@ type Sweep struct {
 	// it concurrently, so it must be safe for concurrent use and should be
 	// cheap. It cannot abort the sweep.
 	OnStart func(index int)
+
+	// Cancel, when non-nil, requests a graceful stop when closed: workers
+	// claim no further points but every point already in flight runs to
+	// completion and is delivered through OnPoint. Execute then returns
+	// ErrCancelled (unless a point failed first, which takes precedence).
+	Cancel <-chan struct{}
+}
+
+// cancelled reports whether the sweep's Cancel channel has been closed.
+func (s Sweep) cancelled() bool {
+	if s.Cancel == nil {
+		return false
+	}
+	select {
+	case <-s.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Execute runs every point through the worker pool and returns results in
@@ -53,6 +109,10 @@ func (s Sweep) Execute() ([]Result, error) {
 	if run == nil {
 		run = Run
 	}
+	// The recovery boundary sits per trial, inside the worker, so sibling
+	// trials in the same worker goroutine keep running after a failure is
+	// recorded.
+	run = Recovered(run)
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -64,6 +124,9 @@ func (s Sweep) Execute() ([]Result, error) {
 
 	if workers <= 1 {
 		for i, p := range s.Points {
+			if s.cancelled() {
+				return nil, ErrCancelled
+			}
 			if s.OnStart != nil {
 				s.OnStart(i)
 			}
@@ -95,7 +158,7 @@ func (s Sweep) Execute() ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && !s.cancelled() {
 				i := int(next.Add(1)) - 1
 				if i >= len(s.Points) {
 					return
@@ -140,6 +203,9 @@ func (s Sweep) Execute() ([]Result, error) {
 	}
 	if cbErr != nil {
 		return nil, cbErr
+	}
+	if s.cancelled() && int(next.Load()) < len(s.Points) {
+		return nil, ErrCancelled
 	}
 	return results, nil
 }

@@ -230,6 +230,161 @@ func TestSweepPointErrorBeatsOnPointError(t *testing.T) {
 	}
 }
 
+// TestSweepPanicRecovered checks a panicking trial surfaces as an ordinary
+// point error carrying the panic value and a stack trace, at every pool
+// size — one bad trial must not take down the process.
+func TestSweepPanicRecovered(t *testing.T) {
+	points := make([]Scenario, 8)
+	for i := range points {
+		points[i] = Scenario{Nodes: i + 1}
+	}
+	stub := func(sc Scenario) (Result, error) {
+		if sc.Nodes == 3 {
+			panic("kaboom at n=3")
+		}
+		return Result{Items: sc.Nodes}, nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := (Sweep{Points: points, Run: stub, Workers: workers}).Execute()
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want a wrapped *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom at n=3" {
+			t.Fatalf("workers=%d: panic value = %v, want the original value", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "sweep_test.go") {
+			t.Fatalf("workers=%d: stack does not name the panic site:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "point 2") {
+			t.Fatalf("workers=%d: err = %v, want the failing point's index", workers, err)
+		}
+	}
+}
+
+// TestSweepCancelSerial pins serial cancellation: the check happens before
+// each claim, so closing Cancel during point k's delivery runs exactly
+// k+1 points and returns ErrCancelled.
+func TestSweepCancelSerial(t *testing.T) {
+	points := make([]Scenario, 10)
+	for i := range points {
+		points[i] = Scenario{Nodes: i + 1}
+	}
+	cancel := make(chan struct{})
+	var runs atomic.Int64
+	stub := func(sc Scenario) (Result, error) {
+		runs.Add(1)
+		return Result{Items: sc.Nodes}, nil
+	}
+	_, err := (Sweep{
+		Points:  points,
+		Run:     stub,
+		Workers: 1,
+		Cancel:  cancel,
+		OnPoint: func(i int, _ Scenario, _ Result) error {
+			if i == 2 {
+				close(cancel)
+			}
+			return nil
+		},
+	}).Execute()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("%d points ran after cancel during point 2, want exactly 3", got)
+	}
+
+	// A pre-closed Cancel stops the sweep before any work.
+	closed := make(chan struct{})
+	close(closed)
+	runs.Store(0)
+	_, err = (Sweep{Points: points, Run: stub, Workers: 1, Cancel: closed}).Execute()
+	if !errors.Is(err, ErrCancelled) || runs.Load() != 0 {
+		t.Fatalf("pre-cancelled sweep: err=%v runs=%d, want ErrCancelled and zero runs", err, runs.Load())
+	}
+}
+
+// TestSweepCancelDrainsInFlight pins the parallel drain contract: after
+// Cancel closes, workers claim nothing new, but every point already in
+// flight runs to completion AND is delivered through OnPoint — exactly
+// what lets the campaign journal each drained point before exit.
+func TestSweepCancelDrainsInFlight(t *testing.T) {
+	points := make([]Scenario, 24)
+	for i := range points {
+		points[i] = Scenario{Nodes: i + 1}
+	}
+	cancel := make(chan struct{})
+	var runs atomic.Int64
+	stub := func(sc Scenario) (Result, error) {
+		runs.Add(1)
+		if sc.Nodes > 1 {
+			// Hold later points until cancellation has happened, so any
+			// claim after this one is provably post-cancel.
+			<-cancel
+		}
+		return Result{Items: sc.Nodes}, nil
+	}
+	delivered := make(map[int]bool)
+	_, err := (Sweep{
+		Points:  points,
+		Run:     stub,
+		Workers: 2,
+		Cancel:  cancel,
+		OnPoint: func(i int, _ Scenario, _ Result) error {
+			delivered[i] = true
+			if i == 0 {
+				close(cancel)
+			}
+			return nil
+		},
+	}).Execute()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	// Point 0 always runs; point 1 may have been claimed before cancel. No
+	// third point may be claimed, and — the drain contract — every point
+	// that ran must have been delivered.
+	if got := runs.Load(); got < 1 || got > 2 {
+		t.Fatalf("%d points ran, want 1 or 2 — workers kept claiming after cancel", got)
+	}
+	if int64(len(delivered)) != runs.Load() {
+		t.Fatalf("%d points ran but %d were delivered — in-flight work was dropped, not drained", runs.Load(), len(delivered))
+	}
+}
+
+// TestReplicatedSweepCancel checks Cancel passes through ReplicatedSweep
+// with the same sentinel, and that cancellation can not deliver a
+// partially-replicated point.
+func TestReplicatedSweepCancel(t *testing.T) {
+	points := []Scenario{{Nodes: 1, Replications: 3}, {Nodes: 2, Replications: 3}}
+	cancel := make(chan struct{})
+	stub := func(sc Scenario) (Result, error) {
+		return Result{Items: sc.Nodes}, nil
+	}
+	_, err := (ReplicatedSweep{
+		Points:  points,
+		Run:     stub,
+		Workers: 1,
+		Cancel:  cancel,
+		OnPoint: func(i int, _ Scenario, reps []Result) error {
+			if len(reps) != 3 {
+				t.Errorf("point %d delivered with %d replicates, want 3", i, len(reps))
+			}
+			if i == 0 {
+				close(cancel)
+			}
+			return nil
+		},
+	}).Execute()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
 // TestSweepParallelDeterminism is the tentpole's contract: Figure8-class
 // sweeps produce byte-identical tables at workers=1 and workers=8. Figure10
 // adds failure injection and Figure13 the clustered workload, so the

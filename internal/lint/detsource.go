@@ -6,16 +6,23 @@ import (
 )
 
 // DetSource forbids nondeterministic inputs inside the deterministic
-// packages: wall-clock reads (time.Now/Since/Until), draws from the
-// global math/rand stream (the package-level convenience functions share
-// unseeded process state; rand.New/NewSource construct seeded instances
-// and stay legal — sim.RNG is built on them), and environment reads
-// (os.Getenv and friends), which make output machine-dependent. Test
-// files are exempt: tests legitimately measure wall time; the contract
-// governs what simulations compute, not how long tests take.
+// packages: wall-clock reads (time.Now/Since/Until) and stalls
+// (time.Sleep), draws from the global math/rand stream (the
+// package-level convenience functions share unseeded process state;
+// rand.New/NewSource construct seeded instances and stay legal —
+// sim.RNG is built on them), environment reads (os.Getenv and friends),
+// which make output machine-dependent, and fsync barriers
+// ((*os.File).Sync), whose timing couples output to disk state. The
+// crash-safety layer legitimately sleeps (retry backoff) and fsyncs
+// (write-ahead journal durability) — those sites carry
+// //repolint:allow detsource annotations with reasons, so every
+// deliberate wall-clock or disk dependency is visible and reviewed
+// rather than silently exempt. Test files are exempt: tests
+// legitimately measure wall time; the contract governs what simulations
+// compute, not how long tests take.
 var DetSource = &Analyzer{
 	Name: "detsource",
-	Doc:  "forbid wall clock, global math/rand, and environment reads in deterministic packages",
+	Doc:  "forbid wall clock, sleeps, fsync, global math/rand, and environment reads in deterministic packages",
 	Run:  runDetSource,
 }
 
@@ -25,11 +32,21 @@ var detForbidden = map[string]map[string]string{
 		"Now":   "reads the wall clock",
 		"Since": "reads the wall clock",
 		"Until": "reads the wall clock",
+		"Sleep": "stalls on the wall clock",
 	},
 	"os": {
 		"Getenv":    "reads the environment",
 		"LookupEnv": "reads the environment",
 		"Environ":   "reads the environment",
+	},
+}
+
+// detForbiddenMethods maps receiver type -> method name -> explanation.
+// Methods are otherwise exempt (the contract names package funcs), but a
+// handful of receivers carry machine-state effects worth surfacing.
+var detForbiddenMethods = map[string]map[string]string{
+	"*os.File": {
+		"Sync": "forces an fsync, a durability barrier whose latency depends on the disk",
 	},
 }
 
@@ -49,25 +66,65 @@ func runDetSource(pass *Pass) {
 		if pass.Pkg.IsTest(f) {
 			continue
 		}
+		// Both CALLS and bare REFERENCES are flagged: assigning time.Sleep
+		// to a func-typed variable smuggles the wall clock past a call-site
+		// check, so the forbidden set is matched wherever the identifier
+		// resolves. handled marks idents already covered by an enclosing
+		// node (a call's callee, a selector's Sel) so each use reports once.
+		handled := map[ast.Node]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+			var id *ast.Ident
+			verb := "reference to"
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					id = fun
+				case *ast.SelectorExpr:
+					handled[fun] = true
+					id = fun.Sel
+				default:
+					return true
+				}
+				verb = "call to"
+			case *ast.SelectorExpr:
+				if handled[n] {
+					return true
+				}
+				id = n.Sel
+			case *ast.Ident:
+				if handled[n] {
+					return true
+				}
+				id = n
+			default:
+				return true
+			}
+			handled[id] = true
+			fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
 			if !ok {
 				return true
 			}
-			fn := calleeFunc(pass.Pkg.Info, call)
-			if fn == nil || fn.Pkg() == nil {
+			if sig.Recv() != nil {
+				// Methods are fine — the contract names package funcs —
+				// except the few receivers whose methods touch machine state.
+				recv := sig.Recv().Type().String()
+				if why, bad := detForbiddenMethods[recv][fn.Name()]; bad {
+					pass.Reportf(id.Pos(), "%s (%s).%s %s; annotate the durability barrier with //repolint:allow detsource <reason> or move it out of the deterministic core", verb, recv, fn.Name(), why)
+				}
 				return true
-			}
-			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-				return true // methods are fine; the contract names package funcs
 			}
 			path, name := fn.Pkg().Path(), fn.Name()
 			if why, ok := detForbidden[path][name]; ok {
-				pass.Reportf(call.Pos(), "call to %s.%s %s, breaking the byte-identical output contract (DESIGN §2); use sim time or thread the value in", path, name, why)
+				pass.Reportf(id.Pos(), "%s %s.%s %s, breaking the byte-identical output contract (DESIGN §2); use sim time or thread the value in", verb, path, name, why)
 				return true
 			}
 			if (path == "math/rand" || path == "math/rand/v2") && !globalRandExempt[name] {
-				pass.Reportf(call.Pos(), "call to %s.%s draws from the global, unseeded random stream; use a seeded sim.RNG (fork per subsystem)", path, name)
+				pass.Reportf(id.Pos(), "%s %s.%s draws from the global, unseeded random stream; use a seeded sim.RNG (fork per subsystem)", verb, path, name)
 			}
 			return true
 		})

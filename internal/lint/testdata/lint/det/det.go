@@ -1,6 +1,6 @@
-// Package det exercises the detsource corpus: wall-clock reads, draws
-// from the global math/rand stream, and environment reads are forbidden
-// in deterministic packages.
+// Package det exercises the detsource corpus: wall-clock reads and
+// sleeps, draws from the global math/rand stream, environment reads,
+// and fsync barriers are forbidden in deterministic packages.
 package det
 
 import (
@@ -33,4 +33,23 @@ func Home() string {
 // Methods are fine; the contract names package-level functions.
 func Rounded(d time.Duration) time.Duration {
 	return d.Round(time.Millisecond)
+}
+
+func Backoff() {
+	time.Sleep(time.Millisecond) // want `stalls on the wall clock`
+}
+
+// A bare reference smuggles the function past a call-site-only check:
+// references are flagged like calls.
+var sleeper = time.Sleep // want `stalls on the wall clock`
+
+func Flush(f *os.File) error {
+	return f.Sync() // want `forces an fsync`
+}
+
+// Annotated fsyncs and sleeps are the sanctioned escape hatch: the
+// waiver names the analyzer and carries a reason.
+func FlushAllowed(f *os.File) error {
+	//repolint:allow detsource durability barrier exercised by the corpus
+	return f.Sync()
 }

@@ -20,11 +20,14 @@ type CampaignProgress struct {
 	name  string
 	total int
 
-	mu       sync.Mutex
-	started  time.Time
-	done     int
-	trials   int // finished trials (replicates), for replicated campaigns
-	inFlight map[int]struct{}
+	mu        sync.Mutex
+	started   time.Time
+	done      int
+	trials    int // finished trials (replicates), for replicated campaigns
+	resumed   int // points replayed from a checkpoint journal, not executed
+	cacheHits int // points satisfied from the result cache, not executed
+	retries   int // trial re-executions under the retry policy
+	inFlight  map[int]struct{}
 }
 
 // NewCampaignProgress returns a tracker for a campaign of total points.
@@ -61,6 +64,42 @@ func (p *CampaignProgress) PointDone(i int) {
 	p.mu.Unlock()
 }
 
+// PointResumed records that point i was replayed from a checkpoint journal
+// rather than executed. Resumed points count as done but are excluded from
+// the throughput estimate — they complete instantly.
+func (p *CampaignProgress) PointResumed(i int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.resumed++
+	p.mu.Unlock()
+}
+
+// PointCached records that point i was satisfied from the result cache
+// rather than executed. Like resumed points, cached points count as done
+// but not toward throughput.
+func (p *CampaignProgress) PointCached(i int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.cacheHits++
+	p.mu.Unlock()
+}
+
+// TrialRetried records one trial re-execution under the retry policy.
+func (p *CampaignProgress) TrialRetried() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.retries++
+	p.mu.Unlock()
+}
+
 // ProgressSnapshot is one self-contained view of a campaign's progress,
 // JSON-ready for the debug endpoint and expvar.
 type ProgressSnapshot struct {
@@ -73,9 +112,16 @@ type ProgressSnapshot struct {
 	Running []int `json:"running,omitempty"`
 	// TrialsStarted counts claimed work units; for replicated campaigns it
 	// exceeds Done·replications while trials are in flight.
-	TrialsStarted int     `json:"trialsStarted"`
-	ElapsedSec    float64 `json:"elapsedSec"`
-	PointsPerSec  float64 `json:"pointsPerSec,omitempty"`
+	TrialsStarted int `json:"trialsStarted"`
+	// Resumed counts points replayed from a checkpoint journal; CacheHits
+	// counts points served by the result cache. Both are included in Done
+	// but excluded from the throughput estimate.
+	Resumed   int `json:"resumed,omitempty"`
+	CacheHits int `json:"cacheHits,omitempty"`
+	// Retries counts trial re-executions under the retry policy.
+	Retries      int     `json:"retries,omitempty"`
+	ElapsedSec   float64 `json:"elapsedSec"`
+	PointsPerSec float64 `json:"pointsPerSec,omitempty"`
 	// ETASec extrapolates from the mean wall clock of completed points;
 	// absent until the first point completes.
 	ETASec float64 `json:"etaSec,omitempty"`
@@ -93,6 +139,9 @@ func (p *CampaignProgress) Snapshot() ProgressSnapshot {
 		Done:          p.done,
 		Total:         p.total,
 		TrialsStarted: p.trials,
+		Resumed:       p.resumed,
+		CacheHits:     p.cacheHits,
+		Retries:       p.retries,
 		ElapsedSec:    time.Since(p.started).Seconds(),
 	}
 	if p.total > 0 {
@@ -105,8 +154,12 @@ func (p *CampaignProgress) Snapshot() ProgressSnapshot {
 		}
 		sort.Ints(s.Running)
 	}
-	if p.done > 0 && s.ElapsedSec > 0 {
-		s.PointsPerSec = float64(p.done) / s.ElapsedSec
+	// Points replayed from a journal or cache complete instantly; counting
+	// them would inflate the rate and collapse the ETA, so the estimate
+	// covers executed points only.
+	executed := p.done - p.resumed - p.cacheHits
+	if executed > 0 && s.ElapsedSec > 0 {
+		s.PointsPerSec = float64(executed) / s.ElapsedSec
 		s.ETASec = float64(p.total-p.done) / s.PointsPerSec
 	}
 	return s
@@ -117,6 +170,15 @@ func (p *CampaignProgress) Snapshot() ProgressSnapshot {
 //	progress: stress-quick 12/16 points (75.0%) 1.79 pt/s elapsed 6.7s eta 2.2s running [12 13]
 func (s ProgressSnapshot) String() string {
 	line := fmt.Sprintf("progress: %s %d/%d points (%.1f%%)", s.Name, s.Done, s.Total, s.Percent)
+	if s.Resumed > 0 {
+		line += fmt.Sprintf(" resumed %d", s.Resumed)
+	}
+	if s.CacheHits > 0 {
+		line += fmt.Sprintf(" cached %d", s.CacheHits)
+	}
+	if s.Retries > 0 {
+		line += fmt.Sprintf(" retries %d", s.Retries)
+	}
 	if s.PointsPerSec > 0 {
 		line += fmt.Sprintf(" %.2f pt/s", s.PointsPerSec)
 	}

@@ -49,6 +49,63 @@ func TestCampaignProgressSnapshot(t *testing.T) {
 	}
 }
 
+// TestCampaignProgressDurability covers the crash-safety counters:
+// resumed and cached points count as done but not toward throughput,
+// retries surface in the snapshot and heartbeat, and everything is
+// nil-receiver safe.
+func TestCampaignProgressDurability(t *testing.T) {
+	p := NewCampaignProgress("res", 10)
+	p.PointResumed(0)
+	p.PointResumed(1)
+	p.PointCached(2)
+	p.TrialRetried()
+	p.TrialRetried()
+	p.TrialRetried()
+	p.PointStarted(3)
+	p.PointDone(3)
+
+	s := p.Snapshot()
+	if s.Done != 4 || s.Resumed != 2 || s.CacheHits != 1 || s.Retries != 3 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	// Only the one executed point feeds the rate; a rate computed over all
+	// four would quadruple it.
+	if s.PointsPerSec <= 0 {
+		t.Fatalf("rate absent after an executed point: %+v", s)
+	}
+	if got, want := s.ETASec*s.PointsPerSec, float64(s.Total-s.Done); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("ETA·rate = %v, want remaining points %v (rate must exclude replayed points)", got, want)
+	}
+
+	line := s.String()
+	for _, frag := range []string{"res 4/10 points", "resumed 2", "cached 1", "retries 3"} {
+		if !strings.Contains(line, frag) {
+			t.Fatalf("heartbeat line %q missing %q", line, frag)
+		}
+	}
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, frag := range []string{`"resumed":2`, `"cacheHits":1`, `"retries":3`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("snapshot JSON %s missing %s", data, frag)
+		}
+	}
+	// Counters at zero stay off the wire and out of the heartbeat.
+	clean := NewCampaignProgress("clean", 1)
+	if data, _ := json.Marshal(clean); strings.Contains(string(data), "resumed") ||
+		strings.Contains(string(data), "cacheHits") || strings.Contains(string(data), "retries") {
+		t.Fatalf("zero counters leaked into JSON: %s", data)
+	}
+
+	var nilP *CampaignProgress
+	nilP.PointResumed(0)
+	nilP.PointCached(0)
+	nilP.TrialRetried()
+}
+
 func TestCampaignProgressConcurrent(t *testing.T) {
 	p := NewCampaignProgress("par", 64)
 	var wg sync.WaitGroup
