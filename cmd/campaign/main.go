@@ -7,6 +7,7 @@
 // Usage:
 //
 //	campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate] [-progress] [-debug-addr ADDR] [-checkpoint DIR] [-resume] [-cache DIR] [-retries N] [-retry-backoff DUR]
+//	campaign serve [-addr :8080] [-checkpoint DIR] [-cache DIR] [-parallel N] [-sim-workers N] [-retries N] [-retry-backoff DUR]
 //	campaign expand <spec.json>
 //	campaign validate <spec.json>
 //
@@ -37,6 +38,18 @@
 // /debug/progress (JSON snapshot), /debug/vars (expvar), and /debug/pprof.
 // Neither affects the result stream: sink output stays byte-identical.
 //
+// Service mode (internal/service, DESIGN.md §14): `campaign serve` runs a
+// long-lived HTTP daemon instead of a single campaign. POST a campaign
+// spec to /v1/jobs (optionally with {"shard": {"index": i, "count": n}})
+// to start a job; poll GET /v1/jobs/{id}, stream JSONL from
+// /v1/jobs/{id}/results (SSE-framed under Accept: text/event-stream,
+// resumable via Last-Event-ID), and DELETE to cancel with drain
+// semantics. With -checkpoint DIR each job journals into its own
+// subdirectory and the daemon resumes every unfinished job from its
+// journal on restart; -cache DIR is shared across all jobs. SIGINT or
+// SIGTERM drains every in-flight job before exit; a second signal exits
+// immediately.
+//
 // Examples:
 //
 //	campaign run examples/campaigns/fig8.json -parallel 4
@@ -47,10 +60,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime/pprof"
@@ -62,6 +78,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/service"
 )
 
 func main() {
@@ -71,6 +88,7 @@ func main() {
 func usage() int {
 	fmt.Fprintf(os.Stderr, `usage:
   campaign run <spec.json> [-parallel N] [-sim-workers N] [-jsonl PATH] [-csv PATH] [-replications N] [-per-replicate] [-progress] [-debug-addr ADDR] [-checkpoint DIR] [-resume] [-cache DIR] [-retries N] [-retry-backoff DUR]
+  campaign serve [-addr :8080] [-checkpoint DIR] [-cache DIR] [-parallel N] [-sim-workers N] [-retries N] [-retry-backoff DUR]
   campaign expand <spec.json>
   campaign validate <spec.json>
 `)
@@ -78,10 +96,18 @@ func usage() int {
 }
 
 func run(args []string) int {
-	if len(args) < 2 || args[1] == "" || args[1][0] == '-' {
+	if len(args) < 1 {
 		return usage()
 	}
-	sub, specPath, rest := args[0], args[1], args[2:]
+	sub, rest := args[0], args[1:]
+	if sub == "serve" {
+		// serve takes no spec path — jobs arrive over HTTP.
+		return serveCampaigns(rest)
+	}
+	if len(rest) < 1 || rest[0] == "" || rest[0][0] == '-' {
+		return usage()
+	}
+	specPath, rest := rest[0], rest[1:]
 	switch sub {
 	case "run":
 		return runCampaign(specPath, rest)
@@ -170,6 +196,10 @@ func runCampaign(specPath string, args []string) int {
 	if *progressFlag {
 		stopHeartbeat = progress.Heartbeat(os.Stderr, time.Second)
 	}
+	// Deferred so the heartbeat goroutine never outlives an early-exit
+	// setup failure below; stop is idempotent, so the explicit call after
+	// Run (which prints the final line before the summary) stays.
+	defer stopHeartbeat()
 
 	if *csvPath == "-" && *jsonlPath == "-" {
 		// CSV claims stdout; an explicitly doubled "-" is an error.
@@ -188,7 +218,20 @@ func runCampaign(specPath string, args []string) int {
 
 	// File outputs stream through a FileSink (<path>.partial, renamed on
 	// clean completion); stdout streams directly and needs no lifecycle.
+	// Until the campaign takes ownership of the sinks, every early-exit
+	// path below must abort them, or a setup failure after a FileSink was
+	// created (bad -csv path, unreadable checkpoint, …) leaks its open
+	// .partial file.
 	var sinks []campaign.Sink
+	sinksHandedOff := false
+	defer func() {
+		if sinksHandedOff {
+			return
+		}
+		for _, s := range sinks {
+			s.Abort()
+		}
+	}()
 	addSink := func(path string, build func(io.Writer) campaign.Sink) error {
 		if path == "-" {
 			sinks = append(sinks, build(os.Stdout))
@@ -272,6 +315,7 @@ func runCampaign(specPath string, args []string) int {
 	}()
 
 	start := time.Now()
+	sinksHandedOff = true // Run owns the sink lifecycle (Close/Abort) from here
 	_, err = c.Run(campaign.RunOptions{
 		Workers:    *parallel,
 		Sinks:      sinks,
@@ -304,18 +348,137 @@ func runCampaign(specPath string, args []string) int {
 	return 0
 }
 
+// serveCampaigns runs the campaign service daemon (internal/service): an
+// HTTP API that accepts campaign specs as jobs, streams their results,
+// and — with -checkpoint — resumes unfinished jobs from their journals on
+// restart. The bound address is printed to stderr (useful with -addr :0).
+// The first SIGINT/SIGTERM drains every in-flight job, then the server
+// shuts down cleanly; a second signal exits immediately.
+func serveCampaigns(args []string) int {
+	fs := flag.NewFlagSet("campaign serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", `listen address (host:port; ":0" picks a free port, printed to stderr)`)
+	checkpointRoot := fs.String("checkpoint", "", "checkpoint root: every job journals into its own subdirectory and unfinished jobs resume on daemon restart")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory shared by every job (and by CLI runs pointed at it)")
+	parallel := fs.Int("parallel", 0, "per-job sweep worker pool size (0 = all cores, 1 = serial)")
+	simWorkers := fs.Int("sim-workers", 0, "goroutines for the data-parallel kernels inside each simulation (0/1 = serial)")
+	retries := fs.Int("retries", 0, "re-execute a failed trial up to N more times (same seed — deterministic)")
+	retryBackoff := fs.Duration("retry-backoff", 100*time.Millisecond, "wait before the first retry, doubling per attempt")
+	fs.Parse(args)
+
+	cfg := service.Config{
+		CheckpointRoot: *checkpointRoot,
+		Workers:        *parallel,
+		SimWorkers:     *simWorkers,
+		Retry:          campaign.RetryPolicy{Max: *retries, Backoff: *retryBackoff},
+	}
+	if *cacheDir != "" {
+		cache, err := checkpoint.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			return 1
+		}
+		cfg.Cache = cache
+	}
+
+	m := service.NewManager(cfg)
+	recovered, err := m.Recover()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	for _, j := range recovered {
+		rng := j.Range()
+		fmt.Fprintf(os.Stderr, "campaign: resuming job %s (points [%d,%d))\n", j.ID(), rng.Lo, rng.Hi)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: service.NewHandler(m)}
+	fmt.Fprintf(os.Stderr, "campaign: serving on http://%s\n", ln.Addr())
+
+	// Graceful shutdown: the first signal drains every job (in-flight
+	// points finish and are journaled), then stops the HTTP server —
+	// result streams of draining jobs end with their terminal state before
+	// Shutdown returns. A second signal exits immediately.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "campaign: received %v; draining jobs (signal again to exit immediately)\n", s)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "campaign: second signal; exiting without drain")
+			os.Exit(130)
+		}()
+		m.Drain()
+		srv.Shutdown(context.Background())
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "campaign: drained, shutting down")
+	return 0
+}
+
 // resumeCommand reconstructs the invocation that continues an interrupted
 // checkpointed run: the original arguments plus -resume (if not already
-// present).
+// present). Every token is shell-quoted, so the printed line can be pasted
+// into a shell even when paths contain spaces or metacharacters, and only
+// flag tokens (leading '-') count as a -resume occurrence — a flag *value*
+// that happens to be "resume" (say, a checkpoint directory name) must not
+// suppress the appended flag.
 func resumeCommand(specPath string, args []string) string {
 	cmd := append([]string{os.Args[0], "run", specPath}, args...)
+	hasResume := false
 	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			continue
+		}
 		trimmed := strings.TrimLeft(a, "-")
 		if trimmed == "resume" || strings.HasPrefix(trimmed, "resume=") {
-			return strings.Join(cmd, " ")
+			hasResume = true
+			break
 		}
 	}
-	return strings.Join(append(cmd, "-resume"), " ")
+	if !hasResume {
+		cmd = append(cmd, "-resume")
+	}
+	quoted := make([]string, len(cmd))
+	for i, a := range cmd {
+		quoted[i] = shellQuote(a)
+	}
+	return strings.Join(quoted, " ")
+}
+
+// shellQuote returns a token safe to paste into a POSIX shell: unchanged
+// when it contains only safe characters, otherwise single-quoted, with
+// each embedded single quote escaped.
+func shellQuote(s string) string {
+	if s == "" {
+		return "''"
+	}
+	safe := true
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-', r == '_', r == '.', r == '/', r == '=', r == ':', r == ',', r == '+', r == '@', r == '%':
+		default:
+			safe = false
+		}
+		if !safe {
+			break
+		}
+	}
+	if safe {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
 }
 
 // startProfiles arms the requested pprof outputs and returns the teardown

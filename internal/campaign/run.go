@@ -40,6 +40,23 @@ type RetryPolicy struct {
 	Backoff time.Duration
 }
 
+// PointRange restricts a run to the contiguous point-index range
+// [Lo, Hi) — the cross-process shard contract (DESIGN.md §14). Because
+// grid expansion is deterministic and sinks observe points in index
+// order, n processes each running one balanced contiguous range of the
+// same campaign produce, concatenated in shard order, byte-identical
+// JSONL to a single process running the whole grid.
+type PointRange struct {
+	Lo, Hi int
+}
+
+// ShardRange returns the contiguous range of an n-point grid owned by
+// shard index of count: balanced ranges whose sizes differ by at most
+// one point, covering the grid exactly.
+func ShardRange(points, index, count int) PointRange {
+	return PointRange{Lo: index * points / count, Hi: (index + 1) * points / count}
+}
+
 // RunOptions configures campaign execution.
 type RunOptions struct {
 	// Workers bounds the sweep pool; zero or negative means one per core.
@@ -94,12 +111,21 @@ type RunOptions struct {
 	// finish (and journal) the points already in flight, claim nothing
 	// new, sinks are aborted, and Run returns experiment.ErrCancelled.
 	Cancel <-chan struct{}
+
+	// Range, when non-nil, restricts the run to the points in [Lo, Hi):
+	// only those points are hashed, executed (or replayed), and streamed
+	// to the sinks, and the returned slice is populated only inside the
+	// range. Nil means the whole grid. See PointRange for the shard
+	// contract this implements.
+	Range *PointRange
 }
 
 // Run executes every trial and returns the per-point replicate vectors in
 // point order — results[i][r] is replicate r of point i, a single-element
 // slice for unreplicated campaigns. Sinks have already received the full
-// stream when it returns a nil error.
+// stream when it returns a nil error. With opts.Range set, "every trial"
+// means the range's trials: entries outside [Lo, Hi) stay nil and the
+// sinks observe exactly the range, in index order.
 func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	abortSinks := func() error {
 		var err error
@@ -107,6 +133,15 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 			err = errors.Join(err, s.Abort())
 		}
 		return err
+	}
+	lo, hi := 0, len(c.Points)
+	if opts.Range != nil {
+		lo, hi = opts.Range.Lo, opts.Range.Hi
+		if lo < 0 || hi > len(c.Points) || lo > hi {
+			return nil, errors.Join(
+				fmt.Errorf("campaign %q: point range [%d,%d) outside the %d-point grid", c.Spec.Name, lo, hi, len(c.Points)),
+				abortSinks())
+		}
 	}
 	for i, s := range opts.Sinks {
 		if err := s.Begin(c); err != nil {
@@ -127,12 +162,13 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	replicated := c.Replications() > 1
 	reps := c.Replications()
 
-	// Canonical hashes are only needed when some durability layer is on.
+	// Canonical hashes are only needed when some durability layer is on,
+	// and only for the points this run owns.
 	var hashes []string
 	if opts.Journal != nil || opts.Cache != nil {
 		hashes = make([]string, len(c.Points))
-		for i, sc := range scenarios {
-			h, err := experiment.ScenarioHash(sc)
+		for i := lo; i < hi; i++ {
+			h, err := experiment.ScenarioHash(scenarios[i])
 			if err != nil {
 				return nil, errors.Join(fmt.Errorf("campaign %q: hash point %d: %w", c.Spec.Name, i, err), abortSinks())
 			}
@@ -144,8 +180,9 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	done := make([]bool, len(c.Points))
 
 	// Replay the journaled prefix of a resumed run. LoadCheckpoint already
-	// validated indices, hashes, and vector lengths.
-	for i := range c.Points {
+	// validated indices, hashes, and vector lengths; completions outside
+	// this run's range belong to other shards and are ignored.
+	for i := lo; i < hi; i++ {
 		if rs, ok := opts.Completed[i]; ok {
 			results[i] = rs
 			done[i] = true
@@ -156,7 +193,7 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	// Serve remaining points from the cross-campaign cache. Hits are
 	// journaled up front, in index order, still write-ahead of the sinks.
 	if opts.Cache != nil {
-		for i := range c.Points {
+		for i := lo; i < hi; i++ {
 			if done[i] {
 				continue
 			}
@@ -186,7 +223,7 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	// through OnPoint's return, aborting the sweep instead of letting the
 	// remaining points simulate into a dead sink.
 	pending := make(map[int][]experiment.Result)
-	next := 0
+	next := lo
 	flush := func() error {
 		for {
 			rs, ok := pending[next]
@@ -211,7 +248,7 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 
 	// Feed the sinks the already-done prefix (and any already-done islands
 	// the sweep will flush as execution fills the gaps between them).
-	for i := range c.Points {
+	for i := lo; i < hi; i++ {
 		if done[i] {
 			pending[i] = results[i]
 		}
@@ -223,7 +260,7 @@ func (c *Campaign) Run(opts RunOptions) ([][]experiment.Result, error) {
 	// What remains executes through the sweep; todo[k] maps the sweep's
 	// point index k back to the campaign's point index.
 	var todo []int
-	for i := range c.Points {
+	for i := lo; i < hi; i++ {
 		if !done[i] {
 			todo = append(todo, i)
 		}

@@ -95,7 +95,7 @@ func (c *Cache) Put(hash string, results []experiment.Result) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: marshal cache entry: %w", err)
 	}
-	if err := writeFileAtomic(path, append(data, '\n')); err != nil {
+	if err := WriteFileAtomic(path, append(data, '\n')); err != nil {
 		return fmt.Errorf("checkpoint: cache write: %w", err)
 	}
 	return nil

@@ -143,11 +143,12 @@ func LoadJournal(dir string) ([]Record, error) {
 	return recs, nil
 }
 
-// writeFileAtomic writes data to path via a temporary file in the same
+// WriteFileAtomic writes data to path via a temporary file in the same
 // directory, fsyncs it, and renames it into place — readers never observe
 // a partially-written file, and a crash leaves at most an orphaned
-// temporary that later writes overwrite.
-func writeFileAtomic(path string, data []byte) error {
+// temporary that later writes overwrite. The cache entries and the
+// service daemon's job manifests both publish through it.
+func WriteFileAtomic(path string, data []byte) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// progressView fetches /debug/progress from a mux over reg and returns
+// the raw JSON.
+func progressView(t *testing.T, reg *ProgressRegistry) []byte {
+	t.Helper()
+	srv := httptest.NewServer(DebugMux(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/progress")
+	if err != nil {
+		t.Fatalf("GET /debug/progress: %v", err)
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return raw
+}
+
+// TestRegistryViewShapes locks the /debug/progress wire shape: a single
+// registered campaign serves its snapshot as a plain object (what every
+// pre-registry consumer parsed), and only multiple concurrent campaigns —
+// the service daemon case — switch the payload to an array.
+func TestRegistryViewShapes(t *testing.T) {
+	reg := NewProgressRegistry()
+
+	// Empty: a zero snapshot object, not null, not an array.
+	var snap ProgressSnapshot
+	if err := json.Unmarshal(progressView(t, reg), &snap); err != nil {
+		t.Fatalf("empty registry view is not a snapshot object: %v", err)
+	}
+	if snap.Name != "" || snap.Total != 0 {
+		t.Fatalf("empty view = %+v", snap)
+	}
+
+	// One tracker: its snapshot, as a plain object.
+	a := NewCampaignProgress("alpha", 4)
+	removeA := reg.Register(a)
+	if err := json.Unmarshal(progressView(t, reg), &snap); err != nil {
+		t.Fatalf("single-campaign view is not a snapshot object: %v", err)
+	}
+	if snap.Name != "alpha" || snap.Total != 4 {
+		t.Fatalf("single view = %+v, want alpha/4", snap)
+	}
+
+	// Two trackers: an array, registration order.
+	b := NewCampaignProgress("beta", 7)
+	removeB := reg.Register(b)
+	var snaps []ProgressSnapshot
+	if err := json.Unmarshal(progressView(t, reg), &snaps); err != nil {
+		t.Fatalf("multi-campaign view is not an array: %v", err)
+	}
+	if len(snaps) != 2 || snaps[0].Name != "alpha" || snaps[1].Name != "beta" {
+		t.Fatalf("multi view = %+v, want [alpha beta]", snaps)
+	}
+
+	// Unregistering drops back to the single-object shape; removal is
+	// idempotent.
+	removeA()
+	removeA()
+	if err := json.Unmarshal(progressView(t, reg), &snap); err != nil {
+		t.Fatalf("view after unregister is not a snapshot object: %v", err)
+	}
+	if snap.Name != "beta" {
+		t.Fatalf("view after unregister = %+v, want beta", snap)
+	}
+	removeB()
+}
+
+// TestRegistryNilSafety: nil registries and nil trackers register as
+// no-ops, matching the package's nil-receiver conventions.
+func TestRegistryNilSafety(t *testing.T) {
+	var reg *ProgressRegistry
+	remove := reg.Register(NewCampaignProgress("x", 1))
+	remove() // must not panic
+	if got := reg.Snapshots(); got != nil {
+		t.Fatalf("nil registry Snapshots = %v", got)
+	}
+	live := NewProgressRegistry()
+	remove = live.Register(nil)
+	remove()
+	if got := live.Snapshots(); len(got) != 0 {
+		t.Fatalf("registering nil tracker added %v", got)
+	}
+}

@@ -1,0 +1,98 @@
+// spec.go parses job submissions: a campaign spec document optionally
+// carrying a shard assignment. The shard key is peeled off and the rest
+// of the document goes through campaign.ParseSpec's strict decoding, so a
+// typoed axis in a service submission fails exactly like it would in a
+// spec file handed to the CLI.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/campaign"
+)
+
+// Shard is a job's slice of its campaign grid: this process runs shard
+// Index of Count. The mapping to point indices is
+// campaign.ShardRange(points, Index, Count) — balanced contiguous ranges
+// covering the grid exactly, so concatenating the n shards' JSONL in
+// index order reproduces the single-process byte stream.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// String renders "i/n".
+func (s *Shard) String() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// validate rejects impossible assignments; a nil shard (the whole grid)
+// is valid.
+func (s *Shard) validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Count < 1 {
+		return fmt.Errorf("service: shard count %d, want >= 1", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("service: shard index %d outside [0,%d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// pointRange maps the shard onto an n-point grid; a nil shard owns the
+// whole grid.
+func (s *Shard) pointRange(points int) campaign.PointRange {
+	if s == nil {
+		return campaign.PointRange{Lo: 0, Hi: points}
+	}
+	return campaign.ShardRange(points, s.Index, s.Count)
+}
+
+// JobSpec is one parsed job submission: the campaign spec plus the
+// optional shard assignment.
+type JobSpec struct {
+	Spec  campaign.Spec
+	Shard *Shard
+}
+
+// ParseJobSpec decodes a job submission: a campaign spec document, plus
+// an optional top-level "shard" object. Everything except the shard key
+// is parsed by campaign.ParseSpec, strict unknown-field rejection
+// included.
+func ParseJobSpec(raw []byte) (JobSpec, error) {
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return JobSpec{}, fmt.Errorf("service: parse job spec: %w", err)
+	}
+	var shard *Shard
+	if sh, ok := fields["shard"]; ok {
+		dec := json.NewDecoder(bytes.NewReader(sh))
+		dec.DisallowUnknownFields()
+		shard = new(Shard)
+		if err := dec.Decode(shard); err != nil {
+			return JobSpec{}, fmt.Errorf("service: parse shard: %w", err)
+		}
+		if err := shard.validate(); err != nil {
+			return JobSpec{}, err
+		}
+		delete(fields, "shard")
+	}
+	// Re-marshaling the field map (minus the shard) loses key order but
+	// nothing else; campaign.ParseSpec still sees every unknown key.
+	specData, err := json.Marshal(fields)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("service: job spec: %w", err)
+	}
+	spec, err := campaign.ParseSpec(bytes.NewReader(specData))
+	if err != nil {
+		return JobSpec{}, err
+	}
+	return JobSpec{Spec: spec, Shard: shard}, nil
+}

@@ -1,0 +1,30 @@
+// sse.go frames the result stream as Server-Sent Events. The framing is
+// deliberately minimal — one "id:" line carrying the absolute point index
+// and one "data:" line carrying the JSONL record — because the records
+// are single-line JSON by construction (campaign.JSONLSink marshals each
+// one with encoding/json, which never emits raw newlines), so no
+// multi-line data splitting is ever needed.
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// writeSSE emits one result record as an SSE event: the event id is the
+// absolute point index in the expanded grid (what a reconnecting client
+// echoes back as Last-Event-ID), the data the JSONL record without its
+// trailing newline.
+func writeSSE(w io.Writer, pointIndex int, rec []byte) error {
+	_, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", pointIndex, bytes.TrimRight(rec, "\n"))
+	return err
+}
+
+// writeSSEControl emits a named control event (e.g. "end" carrying the
+// job's terminal state), distinguishable from result records because
+// those are sent with the default event type.
+func writeSSEControl(w io.Writer, event, data string) error {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
